@@ -1,0 +1,63 @@
+// Shared scaffolding for the table-regeneration benches.
+//
+// Every bench profiles the BTPC demonstrator once (256x256 frame by
+// default, declared at the paper's 1024x1024 design point; pass a size
+// argument for a larger profile run) and prints its table with the paper's
+// reference values alongside, so shape agreement is visible at a glance.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/btpc_case_study.hpp"
+#include "core/explorer.hpp"
+#include "support/table.hpp"
+
+namespace dtse::bench {
+
+inline core::BtpcCaseOptions case_options_from_args(int argc, char** argv) {
+  core::BtpcCaseOptions options;
+  options.profile_width = 256;
+  options.profile_height = 256;
+  if (argc > 1) {
+    const int size = std::atoi(argv[1]);
+    if (size >= 64) {
+      options.profile_width = size;
+      options.profile_height = size;
+    }
+  }
+  return options;
+}
+
+/// Paper reference triple for one table row.
+struct PaperRow {
+  const char* label;
+  double area_mm2;
+  double onchip_mw;
+  double offchip_mw;
+};
+
+inline support::Table make_comparison_table() {
+  return support::Table({"Version", "area [mm2]", "on-chip [mW]", "off-chip [mW]",
+                         "paper area", "paper on-chip", "paper off-chip"});
+}
+
+inline void add_comparison_row(support::Table& table, const std::string& label,
+                               const memlib::CostSummary& summary, const PaperRow& paper) {
+  using support::Table;
+  table.add_row({label, Table::num(summary.onchip_area_mm2),
+                 Table::num(summary.onchip_power_mw), Table::num(summary.offchip_power_mw),
+                 Table::num(paper.area_mm2), Table::num(paper.onchip_mw),
+                 Table::num(paper.offchip_mw)});
+}
+
+inline void print_header(const char* what, const core::BtpcCaseOptions& options) {
+  std::cout << "=== " << what << " ===\n"
+            << "profile frame " << options.profile_width << "x" << options.profile_height
+            << ", design point " << options.design_width << "x" << options.design_height
+            << "; absolute paper numbers are NOT expected to match (different\n"
+            << "technology models), the ordering and rough ratios are.\n\n";
+}
+
+}  // namespace dtse::bench

@@ -1,0 +1,105 @@
+// google-benchmark microbenchmarks: run-time of the tools themselves.
+//
+// The paper's pitch is that feedback is *fast* ("explored in a short
+// time"); these benchmarks quantify the cost of one feedback evaluation and
+// of its pieces on this implementation.
+#include <benchmark/benchmark.h>
+
+#include "alloc/assignment_problem.hpp"
+#include "alloc/solvers.hpp"
+#include "btpc/codec.hpp"
+#include "core/btpc_case_study.hpp"
+#include "core/explorer.hpp"
+#include "scbd/budget_distribution.hpp"
+#include "support/image.hpp"
+
+namespace {
+
+using namespace dtse;
+
+const ir::Application& demo_app() {
+  static const ir::Application app = [] {
+    core::BtpcCaseOptions options;
+    options.profile_width = 128;
+    options.profile_height = 128;
+    return core::profile_btpc_demonstrator(options);
+  }();
+  return app;
+}
+
+void BM_EncodeLossless(benchmark::State& state) {
+  const int size = static_cast<int>(state.range(0));
+  const auto image =
+      support::make_synthetic_image(size, size, support::SyntheticKind::kCompound, 7);
+  btpc::Encoder encoder(size, size);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.encode(image, {}));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(size) * size);
+}
+BENCHMARK(BM_EncodeLossless)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_DecodeLossless(benchmark::State& state) {
+  const int size = static_cast<int>(state.range(0));
+  const auto image =
+      support::make_synthetic_image(size, size, support::SyntheticKind::kCompound, 7);
+  btpc::Encoder encoder(size, size);
+  const auto encoded = encoder.encode(image, {});
+  btpc::Decoder decoder;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decoder.decode(encoded));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(size) * size);
+}
+BENCHMARK(BM_DecodeLossless)->Arg(64)->Arg(128);
+
+void BM_ProfiledEncode(benchmark::State& state) {
+  const int size = static_cast<int>(state.range(0));
+  const auto image =
+      support::make_synthetic_image(size, size, support::SyntheticKind::kCompound, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(btpc::profile_btpc(image, 1024, 1024));
+  }
+}
+BENCHMARK(BM_ProfiledEncode)->Arg(64)->Arg(128);
+
+void BM_ScbdDistribution(benchmark::State& state) {
+  const auto& app = demo_app();
+  scbd::ScbdOptions options;
+  options.global_budget_cycles =
+      static_cast<std::uint64_t>(state.range(0)) * 1'000'000u;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scbd::distribute_budget(app, options));
+  }
+}
+BENCHMARK(BM_ScbdDistribution)->Arg(20)->Arg(14)->Arg(11);
+
+void BM_AssignmentBranchAndBound(benchmark::State& state) {
+  const auto& app = demo_app();
+  const auto scbd_result = scbd::distribute_budget(app, {});
+  memlib::MemoryLibrary library;
+  alloc::MemoryAllocator allocator{library};
+  const auto [onchip, offchip] = allocator.partition_groups(app, {});
+  const alloc::AssignmentProblem problem(app, onchip, scbd_result.conflicts, library,
+                                         20'000'000);
+  alloc::SolverOptions options;
+  options.solver = alloc::Solver::kBranchAndBound;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        alloc::solve_assignment(problem, static_cast<int>(state.range(0)), options));
+  }
+}
+BENCHMARK(BM_AssignmentBranchAndBound)->Arg(5)->Arg(8)->Arg(12);
+
+void BM_FullFeedbackEvaluation(benchmark::State& state) {
+  const auto& app = demo_app();
+  core::Explorer explorer{memlib::MemoryLibrary{}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(explorer.evaluate(app));
+  }
+}
+BENCHMARK(BM_FullFeedbackEvaluation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,119 @@
+// Full reproduction of the paper's BTPC exploration (Section 4).
+//
+// Profiles the instrumented BTPC encoder, then walks the methodology:
+// MACP analysis, basic group structuring (Table 1), the memory hierarchy
+// decision for the image array (Table 2), the storage cycle budget sweep
+// (Table 3) and the memory allocation sweep (Table 4), printing a
+// paper-shaped table after every step.
+//
+// Usage: explore_btpc [profile_size]   (default 512; 1024 = full design run)
+#include <cstdlib>
+#include <iostream>
+
+#include "core/btpc_case_study.hpp"
+#include "core/explorer.hpp"
+#include "core/pareto.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using dtse::support::Table;
+
+Table cost_table(const std::string& label_header) {
+  return Table({label_header, "on-chip area [mm2]", "on-chip power [mW]",
+                "off-chip power [mW]"});
+}
+
+void add_cost_row(Table& table, const std::string& label,
+                  const dtse::memlib::CostSummary& summary) {
+  table.add_row({label, Table::num(summary.onchip_area_mm2),
+                 Table::num(summary.onchip_power_mw),
+                 Table::num(summary.offchip_power_mw)});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dtse::core::BtpcCaseOptions case_options;
+  if (argc > 1) {
+    const int size = std::atoi(argv[1]);
+    if (size >= 64) {
+      case_options.profile_width = size;
+      case_options.profile_height = size;
+    }
+  }
+
+  std::cout << "== Profiling the BTPC demonstrator ("
+            << case_options.profile_width << "x" << case_options.profile_height
+            << " frame, declared " << case_options.design_width << "x"
+            << case_options.design_height << ") ==\n";
+  const auto profiled = dtse::core::profile_btpc_demonstrator(case_options);
+  std::cout << profiled.to_string() << '\n';
+
+  dtse::core::Explorer explorer{dtse::memlib::MemoryLibrary{}};
+  dtse::core::ExplorerOptions options;
+
+  std::cout << "== Step 4.2: memory access critical path ==\n";
+  const auto macp = explorer.analyze_critical_path(profiled, options);
+  std::cout << macp.to_string();
+  std::cout << "real-time budget " << options.real_time_budget_cycles << " cycles -> "
+            << (macp.feasible_within(static_cast<double>(options.real_time_budget_cycles))
+                    ? "feasible, no loop transformations required\n\n"
+                    : "INFEASIBLE, loop transformations required\n\n");
+
+  std::cout << "== Step 4.3: basic group structuring (Table 1) ==\n";
+  const auto structuring =
+      explorer.explore_variants(dtse::core::btpc_structuring_variants(profiled), options);
+  auto table1 = cost_table("Version");
+  for (const auto& variant : structuring) {
+    add_cost_row(table1, variant.label, variant.eval.summary);
+  }
+  std::cout << table1.to_string() << '\n';
+
+  std::cout << "== Step 4.4: memory hierarchy decision for image (Table 2) ==\n";
+  const auto& merged = structuring.back().app;
+  const auto hierarchy =
+      explorer.explore_variants(dtse::core::btpc_hierarchy_variants(merged), options);
+  auto table2 = cost_table("Version");
+  for (const auto& variant : hierarchy) {
+    add_cost_row(table2, variant.label, variant.eval.summary);
+  }
+  std::cout << table2.to_string() << '\n';
+  std::cout << "Pareto view of the hierarchy options:\n"
+            << dtse::core::pareto_report(hierarchy) << '\n';
+
+  const auto best = dtse::core::btpc_best_variant(profiled);
+
+  std::cout << "== Step 4.5: storage cycle budget distribution (Table 3) ==\n";
+  const std::uint64_t full = options.real_time_budget_cycles;
+  const auto budget_points = explorer.explore_cycle_budgets(
+      best,
+      {full, full * 85 / 100, full * 75 / 100, full * 65 / 100, full * 58 / 100,
+       full * 52 / 100},
+      options);
+  Table table3({"Extra cycles for data-path", "on-chip area [mm2]", "on-chip power [mW]",
+                "off-chip power [mW]"});
+  for (const auto& point : budget_points) {
+    table3.add_row({std::to_string(point.spare_cycles) + " (" +
+                        Table::num(point.spare_percent, 1) + "%)",
+                    Table::num(point.eval.summary.onchip_area_mm2),
+                    Table::num(point.eval.summary.onchip_power_mw),
+                    Table::num(point.eval.summary.offchip_power_mw)});
+  }
+  std::cout << table3.to_string() << '\n';
+
+  std::cout << "== Step 4.6: memory allocation exploration (Table 4) ==\n";
+  const auto allocations =
+      explorer.explore_allocation_counts(best, {4, 5, 8, 10, 14}, options);
+  auto table4 = cost_table("Version");
+  for (const auto& variant : allocations) {
+    add_cost_row(table4, variant.label, variant.eval.summary);
+  }
+  std::cout << table4.to_string() << '\n';
+
+  std::cout << "== Final memory organization ==\n";
+  const auto final_eval = explorer.evaluate(best, options);
+  std::cout << final_eval.allocation.to_string(best) << '\n'
+            << "Summary: " << final_eval.to_string() << '\n';
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Memory allocation driver — the outer loop of Section 4.6.
+//
+// Splits the basic groups into on-chip and off-chip sets, packs the off-chip
+// groups into DRAM channels honouring their conflicts, runs the
+// signal-to-memory assignment for the on-chip set, and reports the cost
+// triple (on-chip area, on-chip power, off-chip power) the paper's tables
+// use.  `sweep_allocations` regenerates Table 4 by varying the number of
+// on-chip memories; `allocate` with `onchip_memories == 0` picks the best
+// count automatically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "alloc/assignment_problem.hpp"
+#include "alloc/solvers.hpp"
+#include "graph/conflict_graph.hpp"
+#include "ir/application.hpp"
+#include "memlib/memory_library.hpp"
+
+namespace dtse::alloc {
+
+/// One off-chip DRAM channel: a bus with one or more commodity parts behind
+/// it, serving a set of mutually non-conflicting basic groups.
+struct OffchipChannel {
+  std::vector<ir::BasicGroupId> groups;
+  std::uint64_t words = 0;
+  int width_bits = 0;
+  memlib::PortCount ports = memlib::PortCount::kSingle;
+  memlib::DramSelection selection;
+  double power_mw = 0.0;
+};
+
+struct AllocationOptions {
+  int onchip_memories = 0;      ///< exact count; 0 = pick the cheapest
+  int max_onchip_memories = 14;
+  std::uint64_t offchip_threshold_words = 64 * 1024;
+  std::uint64_t frame_cycles = 20'000'000;  ///< storage cycles actually used
+  SolverOptions solver;
+};
+
+struct AllocationResult {
+  std::vector<MemoryInstance> onchip;
+  std::vector<OffchipChannel> offchip;
+  memlib::CostSummary summary;
+  bool feasible = false;
+  int requested_memories = 0;   ///< the N that was asked for
+  std::uint64_t search_nodes = 0;
+
+  [[nodiscard]] std::string to_string(const ir::Application& app) const;
+};
+
+class MemoryAllocator {
+ public:
+  explicit MemoryAllocator(memlib::MemoryLibrary library) : library_(std::move(library)) {}
+
+  [[nodiscard]] const memlib::MemoryLibrary& library() const { return library_; }
+
+  /// Full allocation for one memory count (or the best count when
+  /// options.onchip_memories == 0).
+  [[nodiscard]] AllocationResult allocate(const ir::Application& app,
+                                          const graph::ConflictGraph& conflicts,
+                                          const AllocationOptions& options = {}) const;
+
+  /// Allocation for every memory count in `counts` (Table 4).
+  [[nodiscard]] std::vector<AllocationResult> sweep_allocations(
+      const ir::Application& app, const graph::ConflictGraph& conflicts,
+      const std::vector<int>& counts, AllocationOptions options = {}) const;
+
+  /// Splits group ids into (on-chip, off-chip) by threshold and forced
+  /// location.  Exposed for tests and reporting.
+  [[nodiscard]] std::pair<std::vector<ir::BasicGroupId>, std::vector<ir::BasicGroupId>>
+  partition_groups(const ir::Application& app, const AllocationOptions& options) const;
+
+ private:
+  [[nodiscard]] std::vector<OffchipChannel> build_offchip(
+      const ir::Application& app, const std::vector<ir::BasicGroupId>& groups,
+      const graph::ConflictGraph& conflicts, const AllocationOptions& options) const;
+
+  memlib::MemoryLibrary library_;
+};
+
+}  // namespace dtse::alloc

@@ -1,0 +1,132 @@
+#include "alloc/assignment_problem.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace dtse::alloc {
+
+AssignmentProblem::AssignmentProblem(const ir::Application& app,
+                                     std::vector<ir::BasicGroupId> groups,
+                                     const graph::ConflictGraph& conflicts,
+                                     const memlib::MemoryLibrary& library,
+                                     std::uint64_t frame_cycles)
+    : app_(&app),
+      groups_(std::move(groups)),
+      library_(&library),
+      frame_cycles_(frame_cycles) {
+  DTSE_CHECK(frame_cycles_ > 0, "frame cycle count must be positive");
+  const std::size_t n = groups_.size();
+  conflict_.assign(n, std::vector<bool>(n, false));
+  self_conflict_.assign(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    self_conflict_[i] = conflicts.has_self_conflict(groups_[i]);
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const bool c = conflicts.conflicts(groups_[i], groups_[j]) &&
+                     conflicts.conflict_weight(groups_[i], groups_[j]) > 0.0;
+      conflict_[i][j] = conflict_[j][i] = c;
+    }
+  }
+}
+
+bool AssignmentProblem::conflicting(std::size_t i, std::size_t j) const {
+  DTSE_CHECK(i < groups_.size() && j < groups_.size(), "group index out of range");
+  return conflict_[i][j];
+}
+
+bool AssignmentProblem::self_conflicting(std::size_t i) const {
+  DTSE_CHECK(i < groups_.size(), "group index out of range");
+  return self_conflict_[i];
+}
+
+std::optional<MemoryInstance> AssignmentProblem::build_memory(
+    const std::vector<std::size_t>& members) const {
+  if (members.empty()) return MemoryInstance{};
+
+  // Required simultaneous accesses: the largest set of members that pairwise
+  // conflict, counting a self-conflicting member twice.  Member sets are
+  // small, so a greedy clique from each seed is effectively exact here.
+  int ports_needed = 1;
+  for (const auto seed : members) {
+    std::vector<std::size_t> clique{seed};
+    for (const auto candidate : members) {
+      if (candidate == seed) continue;
+      const bool adjacent = std::all_of(clique.begin(), clique.end(), [&](std::size_t m) {
+        return m != candidate && conflict_[m][candidate];
+      });
+      if (adjacent) clique.push_back(candidate);
+    }
+    int simultaneous = static_cast<int>(clique.size());
+    for (const auto m : clique) {
+      if (self_conflict_[m]) ++simultaneous;
+    }
+    ports_needed = std::max(ports_needed, simultaneous);
+  }
+  if (ports_needed > 2) return std::nullopt;  // no tri-ported generator blocks
+
+  MemoryInstance mem;
+  mem.ports = ports_needed == 2 ? memlib::PortCount::kDual : memlib::PortCount::kSingle;
+  for (const auto m : members) {
+    const auto id = groups_[m];
+    mem.groups.push_back(id);
+    const auto& group = app_->group(id);
+    mem.words += group.words;
+    mem.width_bits = std::max(mem.width_bits, group.bitwidth);
+  }
+  mem.cost = library_->sram().cost(mem.words, mem.width_bits, mem.ports);
+
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  for (const auto id : mem.groups) {
+    const auto totals = app_->totals(id);
+    reads += static_cast<std::uint64_t>(totals.reads);
+    writes += static_cast<std::uint64_t>(totals.writes);
+  }
+  mem.power_mw = library_->onchip_power_mw(mem.cost, reads, writes, frame_cycles_);
+  return mem;
+}
+
+std::optional<memlib::CostSummary> AssignmentProblem::evaluate(
+    const std::vector<int>& assignment, int memory_count) const {
+  DTSE_CHECK(assignment.size() == groups_.size(), "one assignment entry per group");
+  std::vector<std::vector<std::size_t>> members(static_cast<std::size_t>(memory_count));
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    DTSE_CHECK(assignment[i] >= 0 && assignment[i] < memory_count,
+               "assignment entry out of range");
+    members[static_cast<std::size_t>(assignment[i])].push_back(i);
+  }
+  memlib::CostSummary summary;
+  for (const auto& m : members) {
+    if (m.empty()) continue;
+    const auto mem = build_memory(m);
+    if (!mem) return std::nullopt;
+    summary.onchip_area_mm2 += mem->cost.area_mm2;
+    summary.onchip_power_mw += mem->power_mw;
+  }
+  return summary;
+}
+
+int AssignmentProblem::min_memories() const {
+  // Greedy colouring bound: self-conflicting groups can still share a
+  // dual-port memory alone, so only pairwise conflicts force extra memories
+  // (a pair of conflicting groups could also share one dual-port memory, but
+  // a clique of three cannot — use the clique bound over pairs, halved by
+  // the dual-port option, never below 1).
+  int clique = 1;
+  const std::size_t n = groups_.size();
+  for (std::size_t seed = 0; seed < n; ++seed) {
+    std::vector<std::size_t> c{seed};
+    for (std::size_t cand = 0; cand < n; ++cand) {
+      if (cand == seed) continue;
+      const bool adj = std::all_of(c.begin(), c.end(), [&](std::size_t m) {
+        return m != cand && conflict_[m][cand];
+      });
+      if (adj) c.push_back(cand);
+    }
+    clique = std::max(clique, static_cast<int>(c.size()));
+  }
+  // Two mutually conflicting groups fit in one dual-port memory.
+  return std::max(1, (clique + 1) / 2);
+}
+
+}  // namespace dtse::alloc

@@ -1,0 +1,83 @@
+// The signal-to-memory assignment problem — Section 4.6.
+//
+// Given the on-chip basic groups, the conflict graph from storage cycle
+// budget distribution, and a number of memories N, assign every group to a
+// memory such that all bandwidth constraints can be honoured, minimizing the
+// technology-model cost.  The cost captures the paper's driving effects:
+//
+//  * a memory is as wide as its widest group — narrow groups stored next to
+//    wide ones waste bits (area) and energy (full-width lines switch),
+//  * energy per access is sub-linear in memory size, so distributing groups
+//    over more memories reduces power,
+//  * every memory pays a fixed periphery overhead, so too many memories
+//    cost area,
+//  * pairwise-conflicting groups in the same memory force a second port;
+//    more than two simultaneous accesses to one memory are infeasible.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/conflict_graph.hpp"
+#include "ir/application.hpp"
+#include "memlib/memory_library.hpp"
+
+namespace dtse::alloc {
+
+/// One allocated on-chip memory with its assigned groups.
+struct MemoryInstance {
+  std::vector<ir::BasicGroupId> groups;
+  std::uint64_t words = 0;
+  int width_bits = 0;
+  memlib::PortCount ports = memlib::PortCount::kSingle;
+  memlib::MemoryCost cost;
+  double power_mw = 0.0;
+};
+
+/// Assignment problem instance over a fixed set of on-chip groups.
+class AssignmentProblem {
+ public:
+  /// `groups` lists the on-chip basic groups to place; `frame_cycles` is the
+  /// storage budget actually used (converts energy to power).
+  AssignmentProblem(const ir::Application& app, std::vector<ir::BasicGroupId> groups,
+                    const graph::ConflictGraph& conflicts,
+                    const memlib::MemoryLibrary& library, std::uint64_t frame_cycles);
+
+  [[nodiscard]] std::size_t group_count() const { return groups_.size(); }
+  [[nodiscard]] const std::vector<ir::BasicGroupId>& groups() const { return groups_; }
+  [[nodiscard]] const ir::Application& app() const { return *app_; }
+  [[nodiscard]] const memlib::MemoryLibrary& library() const { return *library_; }
+  [[nodiscard]] std::uint64_t frame_cycles() const { return frame_cycles_; }
+
+  /// True when groups i and j (problem-local indices) have a bandwidth
+  /// conflict and may not share a single-port memory.
+  [[nodiscard]] bool conflicting(std::size_t i, std::size_t j) const;
+
+  /// True when group i needs two ports by itself.
+  [[nodiscard]] bool self_conflicting(std::size_t i) const;
+
+  /// Builds the physical memory for a set of member groups; returns nullopt
+  /// when the members need more than two simultaneous ports (infeasible).
+  [[nodiscard]] std::optional<MemoryInstance> build_memory(
+      const std::vector<std::size_t>& members) const;
+
+  /// Area + power of a complete assignment (assignment[i] in [0, N));
+  /// nullopt when any memory is infeasible.
+  [[nodiscard]] std::optional<memlib::CostSummary> evaluate(
+      const std::vector<int>& assignment, int memory_count) const;
+
+  /// Lower bound on the number of memories any feasible assignment needs.
+  [[nodiscard]] int min_memories() const;
+
+ private:
+  const ir::Application* app_;
+  std::vector<ir::BasicGroupId> groups_;
+  const memlib::MemoryLibrary* library_;
+  std::uint64_t frame_cycles_;
+  std::vector<std::vector<bool>> conflict_;   ///< pairwise, problem-local
+  std::vector<bool> self_conflict_;
+};
+
+}  // namespace dtse::alloc

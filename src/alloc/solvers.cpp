@@ -1,0 +1,287 @@
+#include "alloc/solvers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace dtse::alloc {
+
+namespace {
+
+/// Groups ordered for the constructive searches: high conflict degree and
+/// large footprint first — the classic "most constrained first" rule.
+std::vector<std::size_t> search_order(const AssignmentProblem& problem) {
+  const std::size_t n = problem.group_count();
+  std::vector<std::size_t> degree(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j && problem.conflicting(i, j)) ++degree[i];
+    }
+  }
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (degree[a] != degree[b]) return degree[a] > degree[b];
+    const auto& ga = problem.app().group(problem.groups()[a]);
+    const auto& gb = problem.app().group(problem.groups()[b]);
+    if (ga.bits() != gb.bits()) return ga.bits() > gb.bits();
+    return a < b;
+  });
+  return order;
+}
+
+/// Per-group optimistic power: the group alone in its ideally sized memory.
+/// Any real placement costs at least this much, making it a valid admissible
+/// remainder bound for branch-and-bound.
+std::vector<double> ideal_power(const AssignmentProblem& problem) {
+  std::vector<double> result(problem.group_count());
+  for (std::size_t i = 0; i < problem.group_count(); ++i) {
+    const auto mem = problem.build_memory({i});
+    DTSE_ASSERT(mem.has_value(), "single group memory is always feasible");
+    result[i] = mem->power_mw;
+  }
+  return result;
+}
+
+struct SearchState {
+  std::vector<std::vector<std::size_t>> members;   ///< per memory
+  std::vector<double> memory_area;                 ///< per memory, mm^2
+  std::vector<double> memory_power;                ///< per memory, mW
+  double area = 0.0;
+  double power = 0.0;
+};
+
+class BranchAndBound {
+ public:
+  BranchAndBound(const AssignmentProblem& problem, int memory_count,
+                 const SolverOptions& options)
+      : problem_(problem),
+        memory_count_(memory_count),
+        options_(options),
+        order_(search_order(problem)),
+        ideal_power_(ideal_power(problem)) {
+    // Suffix sums of the optimistic remainder bound along the search order.
+    remainder_.assign(order_.size() + 1, 0.0);
+    for (std::size_t i = order_.size(); i-- > 0;) {
+      remainder_[i] = remainder_[i + 1] + ideal_power_[order_[i]];
+    }
+  }
+
+  AssignmentSolution run() {
+    state_.members.assign(static_cast<std::size_t>(memory_count_), {});
+    state_.memory_area.assign(static_cast<std::size_t>(memory_count_), 0.0);
+    state_.memory_power.assign(static_cast<std::size_t>(memory_count_), 0.0);
+    best_.scalar_cost = std::numeric_limits<double>::max();
+    best_.feasible = false;
+    assignment_.assign(problem_.group_count(), -1);
+    recurse(0, 0);
+    best_.nodes_explored = nodes_;
+    return best_;
+  }
+
+ private:
+  void recurse(std::size_t depth, int used_memories) {
+    ++nodes_;
+    if (depth == order_.size()) {
+      const double scalar = options_.weights.area_weight * state_.area +
+                            options_.weights.power_weight * state_.power;
+      if (scalar < best_.scalar_cost) {
+        best_.scalar_cost = scalar;
+        best_.assignment = assignment_;
+        best_.summary = {state_.area, state_.power, 0.0};
+        best_.feasible = true;
+      }
+      return;
+    }
+    // Admissible bound: committed cost plus the optimistic power of all
+    // unplaced groups (their area is not bounded below except by 0).
+    const double bound = options_.weights.area_weight * state_.area +
+                         options_.weights.power_weight * (state_.power + remainder_[depth]);
+    if (bound >= best_.scalar_cost) return;
+
+    const std::size_t group = order_[depth];
+    // Symmetry breaking: a group may open at most one new memory.
+    const int try_limit = std::min(memory_count_, used_memories + 1);
+    for (int m = 0; m < try_limit; ++m) {
+      auto& members = state_.members[static_cast<std::size_t>(m)];
+      members.push_back(group);
+      const auto mem = problem_.build_memory(members);
+      if (mem) {
+        const double old_area = state_.memory_area[static_cast<std::size_t>(m)];
+        const double old_power = state_.memory_power[static_cast<std::size_t>(m)];
+        state_.memory_area[static_cast<std::size_t>(m)] = mem->cost.area_mm2;
+        state_.memory_power[static_cast<std::size_t>(m)] = mem->power_mw;
+        state_.area += mem->cost.area_mm2 - old_area;
+        state_.power += mem->power_mw - old_power;
+        assignment_[group] = m;
+
+        recurse(depth + 1, std::max(used_memories, m + 1));
+
+        assignment_[group] = -1;
+        state_.area -= mem->cost.area_mm2 - old_area;
+        state_.power -= mem->power_mw - old_power;
+        state_.memory_area[static_cast<std::size_t>(m)] = old_area;
+        state_.memory_power[static_cast<std::size_t>(m)] = old_power;
+      }
+      members.pop_back();
+    }
+  }
+
+  const AssignmentProblem& problem_;
+  int memory_count_;
+  SolverOptions options_;
+  std::vector<std::size_t> order_;
+  std::vector<double> ideal_power_;
+  std::vector<double> remainder_;
+  SearchState state_;
+  std::vector<int> assignment_;
+  AssignmentSolution best_;
+  std::uint64_t nodes_ = 0;
+};
+
+AssignmentSolution solve_greedy(const AssignmentProblem& problem, int memory_count,
+                                const SolverOptions& options) {
+  AssignmentSolution solution;
+  solution.assignment.assign(problem.group_count(), -1);
+  std::vector<std::vector<std::size_t>> members(static_cast<std::size_t>(memory_count));
+  std::vector<double> mem_area(static_cast<std::size_t>(memory_count), 0.0);
+  std::vector<double> mem_power(static_cast<std::size_t>(memory_count), 0.0);
+  int used = 0;
+  std::uint64_t evaluations = 0;
+
+  for (const auto group : search_order(problem)) {
+    int best_m = -1;
+    double best_delta = std::numeric_limits<double>::max();
+    double best_area = 0.0;
+    double best_power = 0.0;
+    const int try_limit = std::min(memory_count, used + 1);
+    for (int m = 0; m < try_limit; ++m) {
+      auto& mm = members[static_cast<std::size_t>(m)];
+      mm.push_back(group);
+      const auto mem = problem.build_memory(mm);
+      ++evaluations;
+      mm.pop_back();
+      if (!mem) continue;
+      const double delta =
+          options.weights.area_weight *
+              (mem->cost.area_mm2 - mem_area[static_cast<std::size_t>(m)]) +
+          options.weights.power_weight *
+              (mem->power_mw - mem_power[static_cast<std::size_t>(m)]);
+      if (delta < best_delta) {
+        best_delta = delta;
+        best_m = m;
+        best_area = mem->cost.area_mm2;
+        best_power = mem->power_mw;
+      }
+    }
+    if (best_m < 0) {
+      solution.feasible = false;
+      solution.nodes_explored = evaluations;
+      return solution;  // no feasible placement with this memory count
+    }
+    members[static_cast<std::size_t>(best_m)].push_back(group);
+    mem_area[static_cast<std::size_t>(best_m)] = best_area;
+    mem_power[static_cast<std::size_t>(best_m)] = best_power;
+    solution.assignment[group] = best_m;
+    used = std::max(used, best_m + 1);
+  }
+
+  const auto summary = problem.evaluate(solution.assignment, memory_count);
+  DTSE_ASSERT(summary.has_value(), "greedy produced an infeasible assignment");
+  solution.summary = *summary;
+  solution.scalar_cost = options.weights.scalarize(*summary);
+  solution.feasible = true;
+  solution.nodes_explored = evaluations;
+  return solution;
+}
+
+AssignmentSolution solve_annealing(const AssignmentProblem& problem, int memory_count,
+                                   const SolverOptions& options) {
+  AssignmentSolution current = solve_greedy(problem, memory_count, options);
+  if (!current.feasible) {
+    // Greedy could not even construct a start; try a trivial spread.
+    current.assignment.assign(problem.group_count(), 0);
+    for (std::size_t i = 0; i < problem.group_count(); ++i) {
+      current.assignment[i] = static_cast<int>(i % static_cast<std::size_t>(memory_count));
+    }
+    const auto summary = problem.evaluate(current.assignment, memory_count);
+    if (!summary) return current;  // genuinely infeasible start
+    current.summary = *summary;
+    current.scalar_cost = options.weights.scalarize(*summary);
+    current.feasible = true;
+  }
+
+  AssignmentSolution best = current;
+  support::Rng rng(options.seed);
+  double temperature = options.sa_initial_temperature * std::max(current.scalar_cost, 1.0) /
+                       static_cast<double>(std::max(1, options.sa_iterations));
+  // Scale: start at a few percent of the cost, decay geometrically.
+  temperature = options.sa_initial_temperature * 0.02 * std::max(current.scalar_cost, 1.0);
+  const double decay =
+      std::pow(1e-3, 1.0 / static_cast<double>(std::max(1, options.sa_iterations)));
+
+  std::uint64_t moves = 0;
+  for (int it = 0; it < options.sa_iterations; ++it, temperature *= decay) {
+    if (problem.group_count() == 0) break;
+    const auto group = static_cast<std::size_t>(rng.below(problem.group_count()));
+    const int old_m = current.assignment[group];
+    const int new_m = static_cast<int>(rng.below(static_cast<std::uint64_t>(memory_count)));
+    if (new_m == old_m) continue;
+    current.assignment[group] = new_m;
+    ++moves;
+    const auto summary = problem.evaluate(current.assignment, memory_count);
+    bool accept = false;
+    if (summary) {
+      const double cost = options.weights.scalarize(*summary);
+      const double delta = cost - current.scalar_cost;
+      accept = delta <= 0.0 || rng.uniform() < std::exp(-delta / std::max(temperature, 1e-9));
+      if (accept) {
+        current.summary = *summary;
+        current.scalar_cost = cost;
+        if (cost < best.scalar_cost) best = current;
+      }
+    }
+    if (!accept) current.assignment[group] = old_m;
+  }
+  best.nodes_explored = moves;
+  return best;
+}
+
+}  // namespace
+
+AssignmentSolution solve_assignment(const AssignmentProblem& problem, int memory_count,
+                                    const SolverOptions& options) {
+  DTSE_CHECK(memory_count >= 1, "need at least one memory");
+  if (problem.group_count() == 0) {
+    AssignmentSolution empty;
+    empty.feasible = true;
+    return empty;
+  }
+
+  Solver solver = options.solver;
+  if (solver == Solver::kAuto) {
+    solver = problem.group_count() <= static_cast<std::size_t>(options.bb_group_limit)
+                 ? Solver::kBranchAndBound
+                 : Solver::kSimulatedAnnealing;
+  }
+  switch (solver) {
+    case Solver::kBranchAndBound: {
+      BranchAndBound bb(problem, memory_count, options);
+      return bb.run();
+    }
+    case Solver::kGreedy:
+      return solve_greedy(problem, memory_count, options);
+    case Solver::kSimulatedAnnealing:
+      return solve_annealing(problem, memory_count, options);
+    case Solver::kAuto:
+      break;
+  }
+  DTSE_ASSERT(false, "unreachable solver dispatch");
+  return {};
+}
+
+}  // namespace dtse::alloc

@@ -1,0 +1,61 @@
+// Solvers for the signal-to-memory assignment problem.
+//
+// Three strategies with different quality/run-time trade-offs:
+//  * exact branch-and-bound with symmetry breaking (optimal, exponential —
+//    fine up to ~15 groups, which covers the BTPC demonstrator),
+//  * greedy constructive (fast seed / large instances),
+//  * simulated annealing starting from the greedy solution (near-optimal on
+//    large instances, deterministic under a fixed seed).
+//
+// The paper's assignment tool "finds the optimal assignment based on cost
+// models specific for the target memory technology"; branch-and-bound is the
+// reference solver, the others exist for scalability and for the ablation
+// benchmark comparing solver quality.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "alloc/assignment_problem.hpp"
+#include "memlib/memory_cost.hpp"
+
+namespace dtse::alloc {
+
+enum class Solver { kBranchAndBound, kGreedy, kSimulatedAnnealing, kAuto };
+
+[[nodiscard]] constexpr const char* to_string(Solver solver) {
+  switch (solver) {
+    case Solver::kBranchAndBound: return "branch-and-bound";
+    case Solver::kGreedy: return "greedy";
+    case Solver::kSimulatedAnnealing: return "simulated-annealing";
+    case Solver::kAuto: return "auto";
+  }
+  return "?";
+}
+
+struct SolverOptions {
+  Solver solver = Solver::kAuto;
+  memlib::CostWeights weights;
+  std::uint64_t seed = 1;
+  int bb_group_limit = 17;       ///< auto: use B&B up to this many groups
+  int sa_iterations = 50000;
+  double sa_initial_temperature = 4.0;  ///< relative to the greedy cost
+};
+
+struct AssignmentSolution {
+  std::vector<int> assignment;   ///< memory index per problem-local group
+  memlib::CostSummary summary;   ///< on-chip area/power of the assignment
+  double scalar_cost = 0.0;
+  bool feasible = false;
+  std::uint64_t nodes_explored = 0;  ///< search effort (B&B nodes / SA moves)
+};
+
+/// Solves the assignment into exactly `memory_count` memories (empty
+/// memories are allowed and simply not built).
+[[nodiscard]] AssignmentSolution solve_assignment(const AssignmentProblem& problem,
+                                                  int memory_count,
+                                                  const SolverOptions& options = {});
+
+}  // namespace dtse::alloc

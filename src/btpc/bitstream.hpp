@@ -1,0 +1,66 @@
+// Bit-level I/O for the BTPC codec.
+//
+// The writer can optionally mirror its activity into instrumented arrays
+// (`bit_accum` packing state and the `out_buf` stream ring) so that the
+// profiled application model sees the output-stage memory traffic of the
+// real encoder.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/check.hpp"
+#include "trace/instrumented_array.hpp"
+
+namespace dtse::btpc {
+
+class BitWriter {
+ public:
+  BitWriter() = default;
+
+  /// Attaches instrumentation targets (owned by the encoder).
+  void attach(trace::InstrumentedArray<std::uint32_t>* bit_accum,
+              trace::InstrumentedArray<std::uint16_t>* out_buf) {
+    bit_accum_ = bit_accum;
+    out_buf_ = out_buf;
+  }
+
+  /// Appends `count` bits (MSB first) of `bits`.
+  void put(std::uint32_t bits, int count);
+
+  /// Pads to a 16-bit boundary and returns the stream.
+  [[nodiscard]] std::vector<std::uint16_t> finish();
+
+  [[nodiscard]] std::uint64_t bits_written() const { return bits_written_; }
+
+ private:
+  void flush_word();
+
+  std::vector<std::uint16_t> words_;
+  std::uint32_t accumulator_ = 0;
+  int filled_ = 0;
+  std::uint64_t bits_written_ = 0;
+  trace::InstrumentedArray<std::uint32_t>* bit_accum_ = nullptr;
+  trace::InstrumentedArray<std::uint16_t>* out_buf_ = nullptr;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(const std::vector<std::uint16_t>& words) : words_(&words) {}
+
+  /// Reads `count` bits MSB first.  Reading past the end throws.
+  [[nodiscard]] std::uint32_t get(int count);
+
+  /// Reads one bit.
+  [[nodiscard]] int get_bit() { return static_cast<int>(get(1)); }
+
+  [[nodiscard]] std::uint64_t bits_read() const { return bits_read_; }
+
+ private:
+  const std::vector<std::uint16_t>* words_;
+  std::size_t word_pos_ = 0;
+  int bit_pos_ = 0;  // 0 = MSB of current word
+  std::uint64_t bits_read_ = 0;
+};
+
+}  // namespace dtse::btpc

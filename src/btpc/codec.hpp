@@ -1,0 +1,121 @@
+// The BTPC encoder and decoder — Section 3's demonstrator application.
+//
+// Binary Tree Predictive Coding [Robinson, IEEE TIP 1997]: the image is
+// decomposed into a quincunx pyramid; every removed detail pixel is
+// predicted from its four known neighbours, the neighbourhood is classified
+// (the 2-bit `ridge` array), and the prediction residual (the `pyr` array)
+// is entropy-coded with one of six adaptive Huffman coders selected by the
+// class and scale.  Lossy operation quantizes the residual and reconstructs
+// in-loop so encoder and decoder predictions stay aligned.
+//
+// The encoder performs all background-memory accesses through instrumented
+// arrays; constructed with a trace::Recorder it produces, as a side effect
+// of a real compression run, the profiled application model the paper's
+// methodology starts from.  Initialization code is deliberately *outside*
+// the recording scopes — the paper prunes "loops which hardly contribute to
+// the total cycle count".
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "btpc/adaptive_huffman.hpp"
+#include "btpc/bitstream.hpp"
+#include "btpc/pyramid.hpp"
+#include "support/image.hpp"
+#include "trace/instrumented_array.hpp"
+#include "trace/recorder.hpp"
+
+namespace dtse::btpc {
+
+struct CodecOptions {
+  bool lossy = false;
+  int quantizer_delta = 4;  ///< residual quantization step in lossy mode
+};
+
+/// An encoded image: self-contained header plus the entropy-coded stream.
+struct EncodedImage {
+  int width = 0;
+  int height = 0;
+  bool lossy = false;
+  int quantizer_delta = 1;
+  std::vector<std::uint16_t> stream;
+
+  [[nodiscard]] std::uint64_t bits() const {
+    return static_cast<std::uint64_t>(stream.size()) * 16u;
+  }
+  [[nodiscard]] double bits_per_pixel() const {
+    return width * height > 0 ? static_cast<double>(bits()) / (width * height) : 0.0;
+  }
+};
+
+class Encoder {
+ public:
+  /// Plain encoder for a fixed frame geometry.
+  Encoder(int width, int height);
+
+  /// Instrumented encoder.  `declared_width/height` give the product
+  /// geometry entered into the application model (profile a 512x512 frame,
+  /// declare the 1024x1024 design point); 0 means same as the frame.
+  Encoder(trace::Recorder& recorder, int width, int height, int declared_width = 0,
+          int declared_height = 0);
+
+  /// Compresses `image` (dimensions must match the construction geometry).
+  [[nodiscard]] EncodedImage encode(const support::Image& image,
+                                    const CodecOptions& options = {});
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+
+ private:
+  class IterationScope;  // no-op when not instrumented
+
+  void init_tables(const CodecOptions& options);
+  void predict_pass(const LevelSpec& level, const CodecOptions& options);
+  void encode_pass(const LevelSpec& level, BitWriter& writer);
+
+  trace::Recorder* recorder_ = nullptr;
+  int width_;
+  int height_;
+
+  // The demonstrator's basic groups (Section 4.1: 18 important arrays).
+  trace::InstrumentedArray2D<std::uint16_t> image_;
+  trace::InstrumentedArray2D<std::uint8_t> pyr_;
+  trace::InstrumentedArray2D<std::uint8_t> ridge_;
+  AdaptiveHuffmanBank huffman_;
+  trace::InstrumentedArray<std::uint16_t> esc_fifo_;
+  trace::InstrumentedArray<std::uint8_t> coder_select_;
+  trace::InstrumentedArray<std::uint8_t> pred_ctx_;
+  trace::InstrumentedArray<std::uint8_t> quant_tab_;
+  trace::InstrumentedArray<std::uint16_t> dequant_tab_;
+  trace::InstrumentedArray<std::uint32_t> level_offsets_;
+  trace::InstrumentedArray<std::uint32_t> stats_hist_;
+  trace::InstrumentedArray<std::uint16_t> out_buf_;
+  trace::InstrumentedArray<std::uint32_t> bit_accum_;
+  trace::InstrumentedArray<std::uint16_t> base_buf_;
+
+  std::deque<int> escape_values_;  ///< actual payloads behind the esc_fifo ring
+  std::size_t esc_head_ = 0;
+  std::size_t esc_tail_ = 0;
+};
+
+/// Decoder; stateless between images.
+class Decoder {
+ public:
+  [[nodiscard]] support::Image decode(const EncodedImage& encoded);
+};
+
+/// Serialization of the header + stream into bytes (for files).
+[[nodiscard]] std::vector<std::uint8_t> serialize(const EncodedImage& encoded);
+[[nodiscard]] EncodedImage deserialize(const std::vector<std::uint8_t>& bytes);
+
+/// Convenience: profile one full encode of `image` and return the pruned
+/// application model, declared at `declared_width/height` and extrapolated
+/// by the pixel-count ratio.
+[[nodiscard]] ir::Application profile_btpc(const support::Image& image,
+                                           int declared_width, int declared_height,
+                                           const CodecOptions& options = {});
+
+}  // namespace dtse::btpc

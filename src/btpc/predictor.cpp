@@ -1,0 +1,61 @@
+#include "btpc/predictor.hpp"
+
+#include <algorithm>
+
+namespace dtse::btpc {
+
+Prediction predict_from_neighbours(const std::array<int, 4>& neighbours) {
+  std::array<int, 4> sorted = neighbours;
+  std::sort(sorted.begin(), sorted.end());
+  const int range = sorted[3] - sorted[0];
+
+  Prediction result;
+  if (range <= 2) {
+    // Flat neighbourhood: the rounded mean is the best estimate.
+    result.pixel_class = PixelClass::kSmooth;
+    result.value = (sorted[0] + sorted[1] + sorted[2] + sorted[3] + 2) / 4;
+    return result;
+  }
+
+  const int low_gap = sorted[1] - sorted[0];
+  const int high_gap = sorted[3] - sorted[2];
+  const int core = sorted[2] - sorted[1];
+
+  if (high_gap > core + low_gap + 8) {
+    // One high outlier: a bright line runs through; predict from the rest.
+    result.pixel_class = PixelClass::kRidge;
+    result.value = (sorted[0] + sorted[1] + sorted[2] + 1) / 3;
+    return result;
+  }
+  if (low_gap > core + high_gap + 8) {
+    // One low outlier (dark line).
+    result.pixel_class = PixelClass::kRidge;
+    result.value = (sorted[1] + sorted[2] + sorted[3] + 1) / 3;
+    return result;
+  }
+  if (range > 32 && low_gap + high_gap < core) {
+    // Two tight pairs far apart: an edge passes between them; the median
+    // pair biased to the closer side is the classic BTPC choice — we take
+    // the mean of the middle two, which sits on the edge.
+    result.pixel_class = PixelClass::kEdge;
+    result.value = (sorted[1] + sorted[2] + 1) / 2;
+    return result;
+  }
+  result.pixel_class = PixelClass::kTextured;
+  result.value = (sorted[1] + sorted[2] + 1) / 2;  // median of four
+  return result;
+}
+
+PixelClass refine_class(PixelClass pixel_class, int predicted, int west2, int north2) {
+  if (pixel_class != PixelClass::kSmooth) return pixel_class;
+  const int activity = std::abs(west2 - predicted) + std::abs(north2 - predicted);
+  return activity > 24 ? PixelClass::kTextured : PixelClass::kSmooth;
+}
+
+int select_coder(PixelClass pixel_class, int scale) {
+  const int cls = static_cast<int>(pixel_class);
+  if (scale == 0) return cls;          // coders 0..3: full-resolution classes
+  return cls <= 1 ? 4 : 5;             // coders 4/5: coarse smooth vs. busy
+}
+
+}  // namespace dtse::btpc

@@ -1,0 +1,44 @@
+// Neighbourhood-pattern prediction for BTPC.
+//
+// Every detail pixel is predicted from its four already-known lattice
+// neighbours.  Following Robinson's scheme, the neighbour pattern is
+// classified (smooth / textured / ridge / edge — the 2-bit class stored in
+// the demonstrator's `ridge` array) and the class selects both the
+// predictor and, together with the pyramid level, one of the six adaptive
+// Huffman coders.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace dtse::btpc {
+
+/// 2-bit pixel classification (the `ridge` array contents).
+enum class PixelClass : std::uint8_t {
+  kSmooth = 0,   ///< neighbours nearly equal
+  kTextured = 1, ///< moderate local variation
+  kRidge = 2,    ///< one neighbour is an outlier (line through the pixel)
+  kEdge = 3,     ///< bimodal neighbourhood (edge through the pixel)
+};
+
+struct Prediction {
+  int value = 0;          ///< predicted sample value
+  PixelClass pixel_class = PixelClass::kSmooth;
+};
+
+/// Predicts from four neighbour samples.
+[[nodiscard]] Prediction predict_from_neighbours(const std::array<int, 4>& neighbours);
+
+/// Selects one of the six Huffman coders from the pixel class and the
+/// pyramid scale (full-resolution levels get per-class coders; coarse
+/// levels share two).
+[[nodiscard]] int select_coder(PixelClass pixel_class, int scale);
+
+/// Context refinement from two causal same-lattice neighbours (west/north at
+/// distance 2*2^a): a nominally smooth neighbourhood next to high activity
+/// is reclassified as textured.  Encoder and decoder apply this identically,
+/// so it only uses data both sides have.
+[[nodiscard]] PixelClass refine_class(PixelClass pixel_class, int predicted, int west2,
+                                      int north2);
+
+}  // namespace dtse::btpc

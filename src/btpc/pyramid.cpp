@@ -1,0 +1,102 @@
+#include "btpc/pyramid.hpp"
+
+#include "support/check.hpp"
+
+namespace dtse::btpc {
+
+int top_scale(int width, int height) {
+  DTSE_CHECK(width > 0 && height > 0, "image dimensions must be positive");
+  int scale = 0;
+  while ((1 << (scale + 1)) < std::max(width, height)) ++scale;
+  return scale + 1;
+}
+
+std::vector<LevelSpec> decomposition_levels(int width, int height) {
+  std::vector<LevelSpec> levels;
+  for (int a = top_scale(width, height) - 1; a >= 0; --a) {
+    levels.push_back({a, Phase::kSquare});
+    levels.push_back({a, Phase::kDiamond});
+  }
+  return levels;
+}
+
+namespace {
+
+/// Folds the +/-s neighbour pair of `coord` into [0, limit): an
+/// out-of-range side is replaced by the in-range one (mirror padding on the
+/// same lattice).  Returns {lo, hi, valid}.
+struct FoldedPair {
+  int lo = 0;
+  int hi = 0;
+  bool valid = false;
+};
+
+FoldedPair fold_pair(int coord, int step, int limit) {
+  const int lo = coord - step;
+  const int hi = coord + step;
+  const bool lo_ok = lo >= 0 && lo < limit;
+  const bool hi_ok = hi >= 0 && hi < limit;
+  if (lo_ok && hi_ok) return {lo, hi, true};
+  if (lo_ok) return {lo, lo, true};
+  if (hi_ok) return {hi, hi, true};
+  return {};
+}
+
+}  // namespace
+
+std::array<Point, 4> parent_positions(Point p, const LevelSpec& level, int width,
+                                      int height) {
+  const int s = 1 << level.scale;
+  if (level.phase == Phase::kSquare) {
+    // Diagonal parents in S_{a+1}.  Both coordinates are odd multiples of s,
+    // so the low side is always in range; mirror the high side when needed.
+    const auto fx = fold_pair(p.x, s, width);
+    const auto fy = fold_pair(p.y, s, height);
+    DTSE_ASSERT(fx.valid && fy.valid, "square-phase detail point without parents");
+    return {Point{fx.lo, fy.lo}, Point{fx.hi, fy.lo}, Point{fx.lo, fy.hi},
+            Point{fx.hi, fy.hi}};
+  }
+  // Diamond phase: axial parents in D_a.  On narrow/short images a whole
+  // axis can fall outside at coarse scales; the other axis' pair is then
+  // used twice (the neighbourhood degenerates to two points).
+  const auto fx = fold_pair(p.x, s, width);
+  const auto fy = fold_pair(p.y, s, height);
+  DTSE_ASSERT(fx.valid || fy.valid, "diamond-phase detail point without parents");
+  if (!fy.valid) return {Point{fx.lo, p.y}, Point{fx.hi, p.y}, Point{fx.lo, p.y},
+                         Point{fx.hi, p.y}};
+  if (!fx.valid) return {Point{p.x, fy.lo}, Point{p.x, fy.hi}, Point{p.x, fy.lo},
+                         Point{p.x, fy.hi}};
+  return {Point{fx.lo, p.y}, Point{fx.hi, p.y}, Point{p.x, fy.lo}, Point{p.x, fy.hi}};
+}
+
+void for_each_detail_point(const LevelSpec& level, int width, int height,
+                           const std::function<void(Point)>& fn) {
+  const int s = 1 << level.scale;
+  if (level.phase == Phase::kSquare) {
+    // Both coordinates odd multiples of 2^a.
+    for (int y = s; y < height; y += 2 * s) {
+      for (int x = s; x < width; x += 2 * s) fn({x, y});
+    }
+  } else {
+    // Multiples of 2^a with odd coordinate-sum parity.
+    for (int y = 0; y < height; y += s) {
+      const bool y_odd = ((y >> level.scale) & 1) != 0;
+      for (int x = y_odd ? 0 : s; x < width; x += 2 * s) fn({x, y});
+    }
+  }
+}
+
+void for_each_top_point(int width, int height, const std::function<void(Point)>& fn) {
+  const int s = 1 << top_scale(width, height);
+  for (int y = 0; y < height; y += s) {
+    for (int x = 0; x < width; x += s) fn({x, y});
+  }
+}
+
+std::uint64_t detail_point_count(const LevelSpec& level, int width, int height) {
+  std::uint64_t count = 0;
+  for_each_detail_point(level, width, height, [&](Point) { ++count; });
+  return count;
+}
+
+}  // namespace dtse::btpc

@@ -1,0 +1,67 @@
+// Quincunx binary-tree pyramid lattice for BTPC.
+//
+// The image is decomposed by alternating square and diamond lattices:
+//
+//   S_a = { (x,y) : x, y multiples of 2^a }
+//   D_a = { (x,y) in S_a : x/2^a + y/2^a even }          (quincunx)
+//
+//   S_0 ⊃ D_0 ⊃ S_1 ⊃ D_1 ⊃ ...
+//
+// Each decomposition step removes half the points; the removed "detail"
+// points have exactly four known neighbours:
+//
+//   S_a \ D_a : axial neighbours at distance 2^a        (diamond phase)
+//   D_a \ S_{a+1} : diagonal neighbours at distance 2^a (square phase)
+//
+// Encoding/decoding proceeds coarse-to-fine: the top square lattice is
+// transmitted raw, then for each scale the square-phase details (diagonal
+// parents) come before the diamond-phase details (axial parents), so every
+// parent is known when needed.  Neighbours falling outside the image are
+// reflected back onto the lattice.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace dtse::btpc {
+
+enum class Phase : std::uint8_t {
+  kSquare,   ///< D_a \ S_{a+1}: both coordinates odd multiples of 2^a
+  kDiamond,  ///< S_a \ D_a: coordinate-sum parity odd at scale 2^a
+};
+
+struct LevelSpec {
+  int scale = 0;        ///< a: lattice step is 2^a
+  Phase phase = Phase::kSquare;
+};
+
+struct Point {
+  int x = 0;
+  int y = 0;
+};
+
+/// Decomposition schedule for a width x height image, coarsest level first.
+/// The last entry is the finest (scale 0 diamond phase).
+[[nodiscard]] std::vector<LevelSpec> decomposition_levels(int width, int height);
+
+/// Scale of the transmitted-raw top lattice (S_top).
+[[nodiscard]] int top_scale(int width, int height);
+
+/// The four parent positions of a detail point, reflected into the image.
+[[nodiscard]] std::array<Point, 4> parent_positions(Point p, const LevelSpec& level,
+                                                    int width, int height);
+
+/// Invokes `fn` for every detail point of `level`, in raster order.
+void for_each_detail_point(const LevelSpec& level, int width, int height,
+                           const std::function<void(Point)>& fn);
+
+/// Invokes `fn` for every point of the raw top lattice, in raster order.
+void for_each_top_point(int width, int height, const std::function<void(Point)>& fn);
+
+/// Number of detail points of `level` (for budgeting and tests).
+[[nodiscard]] std::uint64_t detail_point_count(const LevelSpec& level, int width,
+                                               int height);
+
+}  // namespace dtse::btpc

@@ -1,0 +1,94 @@
+#include "core/explorer.hpp"
+
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace dtse::core {
+
+std::string Evaluation::to_string() const {
+  std::ostringstream os;
+  os << summary << (feasible ? "" : " [INFEASIBLE]") << ", spare cycles " << spare_cycles;
+  return os.str();
+}
+
+Evaluation Explorer::evaluate(const ir::Application& app,
+                              const ExplorerOptions& options) const {
+  DTSE_CHECK(options.storage_budget_cycles <= options.real_time_budget_cycles,
+             "storage budget cannot exceed the real-time budget");
+  Evaluation eval;
+
+  auto scbd_options = options.scbd;
+  scbd_options.global_budget_cycles = options.storage_budget_cycles;
+  eval.scbd = scbd::distribute_budget(app, scbd_options);
+
+  auto alloc_options = options.allocation;
+  // Power averages over the frame period set by the real-time constraint,
+  // not over the (possibly tightened) storage budget.
+  alloc_options.frame_cycles = options.real_time_budget_cycles;
+  eval.allocation = allocator_.allocate(app, eval.scbd.conflicts, alloc_options);
+
+  eval.summary = eval.allocation.summary;
+  eval.spare_cycles = eval.scbd.spare_cycles(options.real_time_budget_cycles);
+  eval.feasible = eval.scbd.feasible && eval.allocation.feasible;
+  return eval;
+}
+
+graph::MacpReport Explorer::analyze_critical_path(const ir::Application& app,
+                                                  const ExplorerOptions& options) const {
+  return graph::analyze_macp(app, options.scbd.latency);
+}
+
+std::vector<Variant> Explorer::explore_variants(
+    std::vector<std::pair<std::string, ir::Application>> variants,
+    const ExplorerOptions& options) const {
+  std::vector<Variant> result;
+  result.reserve(variants.size());
+  for (auto& [label, app] : variants) {
+    Variant variant;
+    variant.label = std::move(label);
+    variant.eval = evaluate(app, options);
+    variant.app = std::move(app);
+    result.push_back(std::move(variant));
+  }
+  return result;
+}
+
+std::vector<BudgetPoint> Explorer::explore_cycle_budgets(
+    const ir::Application& app, const std::vector<std::uint64_t>& budgets,
+    const ExplorerOptions& options) const {
+  std::vector<BudgetPoint> points;
+  points.reserve(budgets.size());
+  for (const auto budget : budgets) {
+    auto point_options = options;
+    point_options.storage_budget_cycles = budget;
+    BudgetPoint point;
+    point.requested_budget = budget;
+    point.eval = evaluate(app, point_options);
+    point.used_cycles = point.eval.scbd.used_cycles;
+    point.spare_cycles = point.eval.spare_cycles;
+    point.spare_percent = 100.0 * static_cast<double>(point.spare_cycles) /
+                          static_cast<double>(options.real_time_budget_cycles);
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+std::vector<Variant> Explorer::explore_allocation_counts(
+    const ir::Application& app, const std::vector<int>& counts,
+    const ExplorerOptions& options) const {
+  std::vector<Variant> result;
+  result.reserve(counts.size());
+  for (const auto count : counts) {
+    auto count_options = options;
+    count_options.allocation.onchip_memories = count;
+    Variant variant;
+    variant.label = std::to_string(count) + " on-chip memories";
+    variant.eval = evaluate(app, count_options);
+    variant.app = app;
+    result.push_back(std::move(variant));
+  }
+  return result;
+}
+
+}  // namespace dtse::core

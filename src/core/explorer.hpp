@@ -1,0 +1,105 @@
+// System-level exploration with accurate memory organization feedback — the
+// paper's primary contribution (Section 4, Figure 1).
+//
+// `Explorer::evaluate` is the feedback oracle: it runs the physical memory
+// management stage (storage cycle budget distribution followed by memory
+// allocation and signal-to-memory assignment) on an application variant and
+// returns the cost triple the designer steers by.  The `explore_*` methods
+// wrap it for each decision axis of the methodology:
+//
+//   explore_variants           - basic group structuring etc. (Table 1)
+//   explore_cycle_budgets      - storage cycle budget trade-off (Table 3)
+//   explore_allocation_counts  - number of on-chip memories (Table 4)
+//
+// Every call is deterministic; an exploration run is a pure function of the
+// profiled application model and the memory technology library.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "alloc/allocator.hpp"
+#include "graph/macp.hpp"
+#include "ir/application.hpp"
+#include "memlib/memory_library.hpp"
+#include "scbd/budget_distribution.hpp"
+
+namespace dtse::core {
+
+struct ExplorerOptions {
+  /// Cycles per frame available in total (real-time constraint: 1 Mpixel/s
+  /// at 20 MHz for the 1024x1024 BTPC design point).
+  std::uint64_t real_time_budget_cycles = 20'000'000;
+  /// Cycles granted to memory accesses; tightening it below the real-time
+  /// budget frees cycles for data-path scheduling (Section 4.5).
+  std::uint64_t storage_budget_cycles = 20'000'000;
+  scbd::ScbdOptions scbd;
+  alloc::AllocationOptions allocation;
+};
+
+/// Complete feedback for one application variant.
+struct Evaluation {
+  scbd::ScbdResult scbd;
+  alloc::AllocationResult allocation;
+  memlib::CostSummary summary;
+  std::uint64_t spare_cycles = 0;  ///< left over for data-path scheduling
+  bool feasible = false;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// A labelled variant with its feedback.
+struct Variant {
+  std::string label;
+  ir::Application app;
+  Evaluation eval;
+};
+
+/// One point of the cycle budget sweep (a Table 3 row).
+struct BudgetPoint {
+  std::uint64_t requested_budget = 0;
+  std::uint64_t used_cycles = 0;
+  std::uint64_t spare_cycles = 0;
+  double spare_percent = 0.0;
+  Evaluation eval;
+};
+
+class Explorer {
+ public:
+  explicit Explorer(memlib::MemoryLibrary library)
+      : library_(std::move(library)), allocator_(library_) {}
+
+  [[nodiscard]] const memlib::MemoryLibrary& library() const { return library_; }
+
+  /// Physical-memory-management feedback for one variant.
+  [[nodiscard]] Evaluation evaluate(const ir::Application& app,
+                                    const ExplorerOptions& options = {}) const;
+
+  /// MACP analysis (Section 4.2) — run before anything else to check the
+  /// real-time constraint is reachable at all.
+  [[nodiscard]] graph::MacpReport analyze_critical_path(
+      const ir::Application& app, const ExplorerOptions& options = {}) const;
+
+  /// Feedback for a set of labelled variants (structuring, hierarchy, ...).
+  [[nodiscard]] std::vector<Variant> explore_variants(
+      std::vector<std::pair<std::string, ir::Application>> variants,
+      const ExplorerOptions& options = {}) const;
+
+  /// Cycle budget sweep: evaluates the variant at each storage budget.
+  [[nodiscard]] std::vector<BudgetPoint> explore_cycle_budgets(
+      const ir::Application& app, const std::vector<std::uint64_t>& budgets,
+      const ExplorerOptions& options = {}) const;
+
+  /// Memory-count sweep at a fixed budget (Table 4).
+  [[nodiscard]] std::vector<Variant> explore_allocation_counts(
+      const ir::Application& app, const std::vector<int>& counts,
+      const ExplorerOptions& options = {}) const;
+
+ private:
+  memlib::MemoryLibrary library_;
+  alloc::MemoryAllocator allocator_;
+};
+
+}  // namespace dtse::core

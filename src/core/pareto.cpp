@@ -1,0 +1,76 @@
+#include "core/pareto.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "support/table.hpp"
+
+namespace dtse::core {
+
+bool dominates(const memlib::CostSummary& a, const memlib::CostSummary& b,
+               double epsilon) {
+  const bool no_worse = a.onchip_area_mm2 <= b.onchip_area_mm2 + epsilon &&
+                        a.onchip_power_mw <= b.onchip_power_mw + epsilon &&
+                        a.offchip_power_mw <= b.offchip_power_mw + epsilon;
+  const bool better = a.onchip_area_mm2 < b.onchip_area_mm2 - epsilon ||
+                      a.onchip_power_mw < b.onchip_power_mw - epsilon ||
+                      a.offchip_power_mw < b.offchip_power_mw - epsilon;
+  return no_worse && better;
+}
+
+std::vector<std::size_t> pareto_front(const std::vector<Variant>& variants,
+                                      double epsilon) {
+  std::vector<std::size_t> front;
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    if (!variants[i].eval.feasible) continue;
+    const bool dominated = std::any_of(
+        variants.begin(), variants.end(), [&](const Variant& other) {
+          return other.eval.feasible &&
+                 dominates(other.eval.summary, variants[i].eval.summary, epsilon);
+        });
+    if (!dominated) front.push_back(i);
+  }
+  return front;
+}
+
+std::string pareto_report(const std::vector<Variant>& variants,
+                          const memlib::CostWeights& weights) {
+  const auto front = pareto_front(variants);
+  std::size_t winner = variants.size();
+  double winner_cost = std::numeric_limits<double>::max();
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    if (!variants[i].eval.feasible) continue;
+    const double cost = weights.scalarize(variants[i].eval.summary);
+    if (cost < winner_cost) {
+      winner_cost = cost;
+      winner = i;
+    }
+  }
+
+  support::Table table({"Variant", "area [mm2]", "on-chip [mW]", "off-chip [mW]",
+                        "scalar", "status"});
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    const auto& summary = variants[i].eval.summary;
+    std::string status;
+    if (!variants[i].eval.feasible) {
+      status = "infeasible";
+    } else {
+      const bool on_front = std::find(front.begin(), front.end(), i) != front.end();
+      if (i == winner) status = on_front ? "pareto, winner" : "winner";
+      else if (on_front) status = "pareto";
+    }
+    table.add_row({variants[i].label, support::Table::num(summary.onchip_area_mm2),
+                   support::Table::num(summary.onchip_power_mw),
+                   support::Table::num(summary.offchip_power_mw),
+                   variants[i].eval.feasible
+                       ? support::Table::num(weights.scalarize(summary))
+                       : "-",
+                   status});
+  }
+  std::ostringstream os;
+  os << table.to_string();
+  return os.str();
+}
+
+}  // namespace dtse::core

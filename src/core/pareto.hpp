@@ -1,0 +1,33 @@
+// Pareto utilities over exploration results.
+//
+// Every exploration step produces a set of labelled cost triples; a designer
+// rarely wants only the scalarized winner — the interesting options are the
+// non-dominated ones (cheaper in at least one of area, on-chip power,
+// off-chip power without being worse in the others).  These helpers extract
+// that front and render a compact report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/explorer.hpp"
+#include "memlib/memory_cost.hpp"
+
+namespace dtse::core {
+
+/// True when `a` dominates `b`: no worse on all three axes and strictly
+/// better on at least one (small epsilon absorbs floating-point noise).
+[[nodiscard]] bool dominates(const memlib::CostSummary& a, const memlib::CostSummary& b,
+                             double epsilon = 1e-9);
+
+/// Indices of the non-dominated variants, in input order.  Infeasible
+/// variants never make the front.
+[[nodiscard]] std::vector<std::size_t> pareto_front(const std::vector<Variant>& variants,
+                                                    double epsilon = 1e-9);
+
+/// Renders variants with their cost triples, marking the Pareto-optimal
+/// ones and the scalarized winner.
+[[nodiscard]] std::string pareto_report(const std::vector<Variant>& variants,
+                                        const memlib::CostWeights& weights = {});
+
+}  // namespace dtse::core

@@ -1,0 +1,101 @@
+#include "graph/conflict_graph.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace dtse::graph {
+
+ConflictGraph::Key ConflictGraph::make_key(ir::BasicGroupId a, ir::BasicGroupId b) {
+  if (b < a) std::swap(a, b);
+  return {a, b};
+}
+
+void ConflictGraph::add_conflict(ir::BasicGroupId a, ir::BasicGroupId b, double weight) {
+  DTSE_CHECK(a.valid() && b.valid(), "conflict endpoints must be valid groups");
+  DTSE_CHECK(weight >= 0.0, "conflict weight must be non-negative");
+  weights_[make_key(a, b)] += weight;
+}
+
+void ConflictGraph::merge(const ConflictGraph& other) {
+  for (const auto& [key, weight] : other.weights_) weights_[key] += weight;
+}
+
+bool ConflictGraph::conflicts(ir::BasicGroupId a, ir::BasicGroupId b) const {
+  return weights_.count(make_key(a, b)) > 0;
+}
+
+double ConflictGraph::conflict_weight(ir::BasicGroupId a, ir::BasicGroupId b) const {
+  const auto it = weights_.find(make_key(a, b));
+  return it == weights_.end() ? 0.0 : it->second;
+}
+
+bool ConflictGraph::has_self_conflict(ir::BasicGroupId a) const {
+  return conflicts(a, a) && conflict_weight(a, a) > 0.0;
+}
+
+double ConflictGraph::self_conflict_weight(ir::BasicGroupId a) const {
+  return conflict_weight(a, a);
+}
+
+std::vector<ConflictGraph::Edge> ConflictGraph::edges() const {
+  std::vector<Edge> result;
+  result.reserve(weights_.size());
+  for (const auto& [key, weight] : weights_) {
+    result.push_back({key.first, key.second, weight});
+  }
+  return result;
+}
+
+double ConflictGraph::total_weight() const {
+  double total = 0.0;
+  for (const auto& [key, weight] : weights_) total += weight;
+  return total;
+}
+
+int ConflictGraph::clique_lower_bound() const {
+  // Collect the distinct vertices with at least one pairwise conflict.
+  std::set<ir::BasicGroupId> vertices;
+  for (const auto& [key, weight] : weights_) {
+    if (key.first != key.second && weight > 0.0) {
+      vertices.insert(key.first);
+      vertices.insert(key.second);
+    }
+  }
+  // Greedy clique growth from every vertex, keep the best.  Exact maximum
+  // clique is NP-hard; for conflict graphs of a couple dozen groups the
+  // greedy bound is tight enough to seed the allocation search.
+  int best = vertices.empty() ? 0 : 1;
+  for (const auto seed : vertices) {
+    std::vector<ir::BasicGroupId> clique{seed};
+    for (const auto candidate : vertices) {
+      if (candidate == seed) continue;
+      const bool adjacent_to_all =
+          std::all_of(clique.begin(), clique.end(), [&](ir::BasicGroupId member) {
+            return member != candidate && conflicts(member, candidate) &&
+                   conflict_weight(member, candidate) > 0.0;
+          });
+      if (adjacent_to_all) clique.push_back(candidate);
+    }
+    best = std::max(best, static_cast<int>(clique.size()));
+  }
+  return best;
+}
+
+std::string ConflictGraph::to_string() const {
+  std::ostringstream os;
+  os << "conflict graph: " << weights_.size() << " edges, total weight " << total_weight()
+     << '\n';
+  for (const auto& [key, weight] : weights_) {
+    if (key.first == key.second) {
+      os << "  self " << key.first << " (w=" << weight << ")\n";
+    } else {
+      os << "  " << key.first << " -- " << key.second << " (w=" << weight << ")\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace dtse::graph

@@ -1,0 +1,64 @@
+// Basic-group conflict graph: the bandwidth abstraction between storage
+// cycle budget distribution and memory allocation.
+//
+// An edge (a, b) means accesses to groups a and b were scheduled in the same
+// cycle somewhere in the application, so the memory architecture must be able
+// to serve both simultaneously: a and b must live in different memories (or
+// share a multi-port memory).  A *self-conflict* on a means two accesses to a
+// itself were scheduled together, which forces a multi-port memory (or a
+// later split of the group).  Edge weights count how often the conflict
+// occurs per frame — heavier conflicts matter more to the assignment
+// heuristics.  This mirrors the conflict-graph output of flow-graph
+// balancing in [Wuytack et al., 1999] / [Slock et al., 1997].
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ir/basic_group.hpp"
+
+namespace dtse::graph {
+
+class ConflictGraph {
+ public:
+  struct Edge {
+    ir::BasicGroupId a;
+    ir::BasicGroupId b;  ///< a < b for normal edges, a == b for self-conflicts
+    double weight = 0.0;
+  };
+
+  /// Accumulates a conflict between `a` and `b` (order-insensitive); use
+  /// a == b to record a self-conflict.
+  void add_conflict(ir::BasicGroupId a, ir::BasicGroupId b, double weight = 1.0);
+
+  /// Merges all conflicts of `other` into this graph.
+  void merge(const ConflictGraph& other);
+
+  [[nodiscard]] bool conflicts(ir::BasicGroupId a, ir::BasicGroupId b) const;
+  [[nodiscard]] double conflict_weight(ir::BasicGroupId a, ir::BasicGroupId b) const;
+  [[nodiscard]] bool has_self_conflict(ir::BasicGroupId a) const;
+  [[nodiscard]] double self_conflict_weight(ir::BasicGroupId a) const;
+
+  /// All edges, self-conflicts included.
+  [[nodiscard]] std::vector<Edge> edges() const;
+  [[nodiscard]] std::size_t edge_count() const { return weights_.size(); }
+  [[nodiscard]] double total_weight() const;
+
+  /// Greedy clique heuristic: a lower bound on the number of single-port
+  /// memories needed to honour all pairwise conflicts (self-conflicts not
+  /// included — they demand ports, not extra memories).
+  [[nodiscard]] int clique_lower_bound() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  using Key = std::pair<ir::BasicGroupId, ir::BasicGroupId>;
+  static Key make_key(ir::BasicGroupId a, ir::BasicGroupId b);
+
+  std::map<Key, double> weights_;
+};
+
+}  // namespace dtse::graph

@@ -1,0 +1,76 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/check.hpp"
+
+namespace dtse::graph {
+
+Digraph::Digraph(std::size_t node_count) : out_(node_count), in_(node_count) {}
+
+void Digraph::add_edge(std::size_t from, std::size_t to) {
+  DTSE_CHECK(from < out_.size() && to < out_.size(), "edge endpoint out of range");
+  out_[from].push_back(to);
+  in_[to].push_back(from);
+  ++edge_count_;
+}
+
+const std::vector<std::size_t>& Digraph::successors(std::size_t node) const {
+  DTSE_CHECK(node < out_.size(), "node out of range");
+  return out_[node];
+}
+
+const std::vector<std::size_t>& Digraph::predecessors(std::size_t node) const {
+  DTSE_CHECK(node < in_.size(), "node out of range");
+  return in_[node];
+}
+
+std::optional<std::vector<std::size_t>> Digraph::topological_order() const {
+  std::vector<std::size_t> indegree(out_.size(), 0);
+  for (std::size_t n = 0; n < out_.size(); ++n) {
+    for (const auto succ : out_[n]) ++indegree[succ];
+  }
+  std::queue<std::size_t> ready;
+  for (std::size_t n = 0; n < out_.size(); ++n) {
+    if (indegree[n] == 0) ready.push(n);
+  }
+  std::vector<std::size_t> order;
+  order.reserve(out_.size());
+  while (!ready.empty()) {
+    const std::size_t node = ready.front();
+    ready.pop();
+    order.push_back(node);
+    for (const auto succ : out_[node]) {
+      if (--indegree[succ] == 0) ready.push(succ);
+    }
+  }
+  if (order.size() != out_.size()) return std::nullopt;
+  return order;
+}
+
+std::optional<double> Digraph::longest_path(const std::vector<double>& node_weight) const {
+  const auto starts = earliest_start(node_weight);
+  if (!starts) return std::nullopt;
+  double best = 0.0;
+  for (std::size_t n = 0; n < out_.size(); ++n) {
+    best = std::max(best, (*starts)[n] + node_weight[n]);
+  }
+  return best;
+}
+
+std::optional<std::vector<double>> Digraph::earliest_start(
+    const std::vector<double>& node_weight) const {
+  DTSE_CHECK(node_weight.size() == out_.size(), "one weight per node required");
+  const auto order = topological_order();
+  if (!order) return std::nullopt;
+  std::vector<double> start(out_.size(), 0.0);
+  for (const auto node : *order) {
+    for (const auto succ : out_[node]) {
+      start[succ] = std::max(start[succ], start[node] + node_weight[node]);
+    }
+  }
+  return start;
+}
+
+}  // namespace dtse::graph

@@ -1,0 +1,46 @@
+// Small directed-graph utilities used by the scheduling and analysis passes.
+//
+// Nodes are dense indices 0..n-1; edges carry no payload.  Provides the two
+// operations the tools need: topological ordering and weighted longest path
+// (the memory access critical path is a longest path through the dependency
+// DAG of a loop body).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace dtse::graph {
+
+class Digraph {
+ public:
+  explicit Digraph(std::size_t node_count = 0);
+
+  void add_edge(std::size_t from, std::size_t to);
+
+  [[nodiscard]] std::size_t node_count() const { return out_.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return edge_count_; }
+  [[nodiscard]] const std::vector<std::size_t>& successors(std::size_t node) const;
+  [[nodiscard]] const std::vector<std::size_t>& predecessors(std::size_t node) const;
+
+  /// Kahn topological order; nullopt if the graph has a cycle.
+  [[nodiscard]] std::optional<std::vector<std::size_t>> topological_order() const;
+
+  /// Length of the longest path where every node contributes
+  /// `node_weight[node]`; nullopt on a cyclic graph.  An empty graph has
+  /// length 0.
+  [[nodiscard]] std::optional<double> longest_path(
+      const std::vector<double>& node_weight) const;
+
+  /// Per-node earliest start times under the same weights (ASAP schedule
+  /// lower bounds); nullopt on a cyclic graph.
+  [[nodiscard]] std::optional<std::vector<double>> earliest_start(
+      const std::vector<double>& node_weight) const;
+
+ private:
+  std::vector<std::vector<std::size_t>> out_;
+  std::vector<std::vector<std::size_t>> in_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace dtse::graph

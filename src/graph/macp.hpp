@@ -1,0 +1,69 @@
+// Memory Access Critical Path (MACP) analysis — Section 4.2 of the paper.
+//
+// The minimal chain of dependent memory accesses limits how fast the
+// application can run no matter how much memory bandwidth is provisioned.
+// This pass computes, per loop body, the longest dependency chain weighted
+// by access latency, and aggregates it over the iteration counts into the
+// application-level MACP.  Comparing the MACP against the storage cycle
+// budget tells the designer whether global loop/data-flow transformations
+// are required before physical memory management can succeed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/application.hpp"
+
+namespace dtse::graph {
+
+/// Latency assumptions used before the actual allocation exists.  Large
+/// groups are assumed to end up off-chip (slower); the threshold matches the
+/// one used by the allocation front-end.
+struct LatencyModel {
+  double onchip_cycles = 1.0;
+  double offchip_cycles = 2.0;
+  std::uint64_t offchip_threshold_words = 64 * 1024;
+
+  [[nodiscard]] double latency(const ir::BasicGroup& group) const;
+
+  /// True when the group is expected to end up in off-chip memory (used by
+  /// passes that run before the actual allocation exists).
+  [[nodiscard]] bool presumed_offchip(const ir::BasicGroup& group) const;
+};
+
+/// Critical path of one loop body.
+struct BodyCriticalPath {
+  ir::LoopBodyId body;
+  std::string name;
+  double path_cycles = 0.0;        ///< longest chain within one iteration
+  double total_cycles = 0.0;       ///< path_cycles * iterations
+  double access_cycles = 0.0;      ///< serial execution time of all accesses
+};
+
+/// Application-level MACP report.
+struct MacpReport {
+  std::vector<BodyCriticalPath> bodies;
+  double macp_cycles = 0.0;        ///< sum over bodies of total_cycles
+  double serial_cycles = 0.0;      ///< all accesses fully serialized
+  ir::LoopBodyId bottleneck;       ///< body with the largest total_cycles
+
+  /// Achievable speed-up over fully serial memory access (>= 1).
+  [[nodiscard]] double parallelism_headroom() const {
+    return macp_cycles > 0.0 ? serial_cycles / macp_cycles : 1.0;
+  }
+
+  /// True when the real-time budget is achievable at all.
+  [[nodiscard]] bool feasible_within(double budget_cycles) const {
+    return macp_cycles <= budget_cycles;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Computes the MACP of `app` under `latency`.  Throws ContractError if any
+/// loop body has cyclic dependencies.
+[[nodiscard]] MacpReport analyze_macp(const ir::Application& app,
+                                      const LatencyModel& latency = {});
+
+}  // namespace dtse::graph

@@ -1,0 +1,161 @@
+#include "hierarchy/hierarchy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace dtse::hierarchy {
+
+double reuse_misses_at(const ir::Application& app, ir::BasicGroupId group,
+                       std::uint64_t words) {
+  const auto* profile = app.reuse_profile(group);
+  DTSE_CHECK(profile != nullptr && !profile->windows.empty(),
+             "group has no reuse profile: " + app.group(group).name);
+  const auto& windows = profile->windows;
+  if (words <= windows.front().window_words) return windows.front().misses_per_frame;
+  if (words >= windows.back().window_words) return windows.back().misses_per_frame;
+  for (std::size_t i = 1; i < windows.size(); ++i) {
+    if (words > windows[i].window_words) continue;
+    const auto& lo = windows[i - 1];
+    const auto& hi = windows[i];
+    const double t = static_cast<double>(words - lo.window_words) /
+                     static_cast<double>(hi.window_words - lo.window_words);
+    return lo.misses_per_frame + t * (hi.misses_per_frame - lo.misses_per_frame);
+  }
+  return windows.back().misses_per_frame;
+}
+
+ir::Application apply_hierarchy(const ir::Application& app, ir::BasicGroupId target,
+                                const std::vector<LayerSpec>& layers) {
+  if (layers.empty()) return app;
+  for (std::size_t i = 1; i < layers.size(); ++i) {
+    DTSE_CHECK(layers[i - 1].words < layers[i].words,
+               "layers must be listed inner (smallest) to outer (largest)");
+  }
+  const auto& target_group = app.group(target);
+  DTSE_CHECK(layers.back().words < target_group.words,
+             "outermost layer must be smaller than the backing group");
+
+  ir::Application result = app;
+
+  // Per-layer fill traffic from the LRU curve.  LRU inclusion makes the miss
+  // stream of layer i exactly the reference stream filtered at capacity w_i,
+  // so layer i+1 sees traffic(w_i) reads and produces traffic(w_{i+1}).
+  std::vector<double> traffic;
+  traffic.reserve(layers.size());
+  for (const auto& layer : layers) {
+    DTSE_CHECK(layer.copy_overhead >= 1.0, "copy overhead cannot be below 1");
+    traffic.push_back(reuse_misses_at(app, target, layer.words) * layer.copy_overhead);
+  }
+  // Guard against non-monotone profiles (interpolation artifacts).
+  for (std::size_t i = 1; i < traffic.size(); ++i) {
+    traffic[i] = std::min(traffic[i], traffic[i - 1]);
+  }
+
+  std::vector<ir::BasicGroupId> layer_ids;
+  layer_ids.reserve(layers.size());
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    ir::BasicGroup group;
+    group.name = layers[i].name;
+    group.words = layers[i].words;
+    group.bitwidth = target_group.bitwidth;
+    group.forced_location = memlib::Location::kOnChip;
+    group.hierarchy_layer = static_cast<int>(i);
+    layer_ids.push_back(result.add_group(std::move(group)));
+  }
+
+  const double total_reads = app.totals(target).reads;
+  DTSE_CHECK(total_reads > 0.0, "hierarchy target is never read");
+
+  for (const auto body_id : result.body_ids()) {
+    auto& body = result.body(body_id);
+
+    // This body's share of the read stream decides how much of the copy
+    // (prefetch) traffic interleaves with it.
+    double body_reads = 0.0;
+    for (const auto& access : body.accesses) {
+      if (access.group == target && access.kind == ir::AccessKind::kRead) {
+        body_reads += access.per_iteration * static_cast<double>(body.iterations);
+      }
+    }
+    if (body_reads <= 0.0) continue;
+    const double share = body_reads / total_reads;
+    const double iters = static_cast<double>(body.iterations);
+
+    // Datapath reads now hit the innermost layer.
+    for (auto& access : body.accesses) {
+      if (access.group == target && access.kind == ir::AccessKind::kRead) {
+        access.group = layer_ids.front();
+      }
+    }
+
+    // Interleaved refill chain: read outer level, write inner level.
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+      const double per_iter = traffic[i] * share / iters;
+      if (per_iter <= 1e-12) continue;
+      const auto outer_source =
+          i + 1 < layers.size() ? layer_ids[i + 1] : target;
+
+      ir::Access fill_read;
+      fill_read.group = outer_source;
+      fill_read.kind = ir::AccessKind::kRead;
+      fill_read.per_iteration = per_iter;
+      fill_read.stride1_fraction = 1.0;  // block copies scan sequentially
+      body.accesses.push_back(fill_read);
+      const std::size_t read_idx = body.accesses.size() - 1;
+
+      ir::Access fill_write;
+      fill_write.group = layer_ids[i];
+      fill_write.kind = ir::AccessKind::kWrite;
+      fill_write.per_iteration = per_iter;
+      fill_write.stride1_fraction = 1.0;
+      body.accesses.push_back(fill_write);
+      body.deps.emplace_back(read_idx, body.accesses.size() - 1);
+    }
+  }
+
+  result.validate();
+  return result;
+}
+
+std::vector<HierarchyOption> enumerate_options(const ir::Application& app,
+                                               ir::BasicGroupId target,
+                                               std::uint64_t inner_words,
+                                               std::uint64_t outer_words) {
+  DTSE_CHECK(inner_words < outer_words, "inner layer must be smaller than outer layer");
+  const auto& name = app.group(target).name;
+  const LayerSpec inner{name + "_l0", inner_words, 1.0};   // register file
+  const LayerSpec outer{name + "_l1", outer_words, 2.1};   // block-copied buffer
+  return {
+      {"no hierarchy", {}},
+      {"only layer 1 (" + outer.name + ")", {outer}},
+      {"only layer 0 (" + inner.name + ")", {inner}},
+      {"2 layers (both)", {inner, outer}},
+  };
+}
+
+std::vector<ReuseCandidate> rank_reuse_candidates(const ir::Application& app) {
+  std::vector<ReuseCandidate> candidates;
+  for (const auto id : app.group_ids()) {
+    const auto* profile = app.reuse_profile(id);
+    if (profile == nullptr || profile->windows.empty()) continue;
+    ReuseCandidate candidate;
+    candidate.group = id;
+    candidate.reads_per_frame = app.totals(id).reads;
+    if (candidate.reads_per_frame > 0.0) {
+      candidate.best_miss_ratio =
+          profile->windows.back().misses_per_frame / candidate.reads_per_frame;
+    }
+    candidates.push_back(candidate);
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const ReuseCandidate& a, const ReuseCandidate& b) {
+              const double gain_a = a.reads_per_frame * (1.0 - a.best_miss_ratio);
+              const double gain_b = b.reads_per_frame * (1.0 - b.best_miss_ratio);
+              return gain_a > gain_b;
+            });
+  return candidates;
+}
+
+}  // namespace dtse::hierarchy

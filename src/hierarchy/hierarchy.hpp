@@ -1,0 +1,71 @@
+// Custom memory hierarchy decision — Section 4.4, Figure 3.
+//
+// In the paper's fully custom hierarchy there are no hardware caches: every
+// copy between layers is expressed at compile time, every access is directed
+// to an explicit layer, and each basic group gets its own layer decision.
+//
+// `apply_hierarchy` inserts copy layers for one heavily read group.  The
+// reads of the consuming loop bodies are retargeted to the smallest layer;
+// the copy (prefetch) traffic between layers is *interleaved into the same
+// loop bodies* — as the real pipelined implementation does — with volumes
+// taken from the profiled LRU reuse curve.  Whether a layer then needs a
+// second port (the paper's 2-port yhier) emerges from flow-graph balancing,
+// not from an assumption.
+//
+// `enumerate_options` produces the paper's four BTPC variants (none /
+// layer 1 / layer 0 / both) for any group with a reuse profile.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/application.hpp"
+
+namespace dtse::hierarchy {
+
+/// One copy layer to insert.  Layers are listed from the innermost (closest
+/// to the datapath, smallest) outwards.
+struct LayerSpec {
+  std::string name;
+  std::uint64_t words = 0;
+  /// Copy traffic relative to the ideal (LRU) miss volume.  Register-file
+  /// layers place individual words at compile time (1.0); bigger layers are
+  /// filled with block copies that also move words that end up unused.
+  double copy_overhead = 1.0;
+};
+
+/// A named hierarchy alternative (e.g. "only layer 0 (ylocal)").
+struct HierarchyOption {
+  std::string label;
+  std::vector<LayerSpec> layers;  ///< empty = no hierarchy
+};
+
+/// Estimated per-frame traffic (misses) of a window of `words`, linearly
+/// interpolated on the group's profiled LRU curve.  Outside the profiled
+/// range the nearest point is used.  Throws if the group has no profile.
+[[nodiscard]] double reuse_misses_at(const ir::Application& app, ir::BasicGroupId group,
+                                     std::uint64_t words);
+
+/// Inserts the given copy layers for `target`.  Returns the transformed
+/// application; with an empty layer list it returns `app` unchanged.
+[[nodiscard]] ir::Application apply_hierarchy(const ir::Application& app,
+                                              ir::BasicGroupId target,
+                                              const std::vector<LayerSpec>& layers);
+
+/// The four canonical alternatives of Figure 3 for `target`, using
+/// `inner_words` for layer 0 (ylocal) and `outer_words` for layer 1 (yhier).
+[[nodiscard]] std::vector<HierarchyOption> enumerate_options(
+    const ir::Application& app, ir::BasicGroupId target, std::uint64_t inner_words = 12,
+    std::uint64_t outer_words = 5 * 1024);
+
+/// Ranks groups by read volume x achievable reuse, the designer's shortlist
+/// for the hierarchy decision.  Only groups with a reuse profile appear.
+struct ReuseCandidate {
+  ir::BasicGroupId group;
+  double reads_per_frame = 0.0;
+  double best_miss_ratio = 1.0;  ///< misses at the largest window / reads
+};
+[[nodiscard]] std::vector<ReuseCandidate> rank_reuse_candidates(const ir::Application& app);
+
+}  // namespace dtse::hierarchy

@@ -1,0 +1,213 @@
+#include "ir/application.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace dtse::ir {
+
+BasicGroupId Application::add_group(BasicGroup group) {
+  DTSE_CHECK(!group.name.empty(), "basic group needs a name");
+  DTSE_CHECK(group.words > 0, "basic group needs at least one word");
+  DTSE_CHECK(group.bitwidth > 0, "basic group bitwidth must be positive");
+  DTSE_CHECK(!find_group(group.name).has_value(), "duplicate basic group name: " + group.name);
+  groups_.push_back(std::move(group));
+  return BasicGroupId(static_cast<std::uint32_t>(groups_.size() - 1));
+}
+
+LoopBodyId Application::add_body(LoopBody body) {
+  DTSE_CHECK(!body.name.empty(), "loop body needs a name");
+  DTSE_CHECK(body.iterations > 0, "loop body must iterate at least once");
+  for (const auto& access : body.accesses) {
+    DTSE_CHECK(access.group.valid() && access.group.index() < groups_.size(),
+               "access references unknown basic group in body " + body.name);
+    DTSE_CHECK(access.per_iteration >= 0.0, "negative access count in body " + body.name);
+    DTSE_CHECK(access.stride1_fraction >= 0.0 && access.stride1_fraction <= 1.0,
+               "stride-1 fraction out of range in body " + body.name);
+  }
+  bodies_.push_back(std::move(body));
+  return LoopBodyId(static_cast<std::uint32_t>(bodies_.size() - 1));
+}
+
+void Application::set_reuse_profile(BasicGroupId id, ReuseProfile profile) {
+  DTSE_CHECK(id.valid() && id.index() < groups_.size(), "unknown basic group");
+  DTSE_CHECK(std::is_sorted(profile.windows.begin(), profile.windows.end(),
+                            [](const WindowMisses& a, const WindowMisses& b) {
+                              return a.window_words < b.window_words;
+                            }),
+             "reuse windows must be sorted by capacity");
+  reuse_[id] = std::move(profile);
+}
+
+const BasicGroup& Application::group(BasicGroupId id) const {
+  DTSE_CHECK(id.valid() && id.index() < groups_.size(), "unknown basic group id");
+  return groups_[id.index()];
+}
+
+BasicGroup& Application::group(BasicGroupId id) {
+  DTSE_CHECK(id.valid() && id.index() < groups_.size(), "unknown basic group id");
+  return groups_[id.index()];
+}
+
+const LoopBody& Application::body(LoopBodyId id) const {
+  DTSE_CHECK(id.valid() && id.index() < bodies_.size(), "unknown loop body id");
+  return bodies_[id.index()];
+}
+
+LoopBody& Application::body(LoopBodyId id) {
+  DTSE_CHECK(id.valid() && id.index() < bodies_.size(), "unknown loop body id");
+  return bodies_[id.index()];
+}
+
+std::vector<BasicGroupId> Application::group_ids() const {
+  std::vector<BasicGroupId> ids;
+  ids.reserve(groups_.size());
+  for (std::size_t i = 0; i < groups_.size(); ++i) {
+    ids.emplace_back(static_cast<std::uint32_t>(i));
+  }
+  return ids;
+}
+
+std::vector<LoopBodyId> Application::body_ids() const {
+  std::vector<LoopBodyId> ids;
+  ids.reserve(bodies_.size());
+  for (std::size_t i = 0; i < bodies_.size(); ++i) {
+    ids.emplace_back(static_cast<std::uint32_t>(i));
+  }
+  return ids;
+}
+
+std::optional<BasicGroupId> Application::find_group(std::string_view name) const {
+  for (std::size_t i = 0; i < groups_.size(); ++i) {
+    if (groups_[i].name == name) return BasicGroupId(static_cast<std::uint32_t>(i));
+  }
+  return std::nullopt;
+}
+
+const ReuseProfile* Application::reuse_profile(BasicGroupId id) const {
+  const auto it = reuse_.find(id);
+  return it == reuse_.end() ? nullptr : &it->second;
+}
+
+GroupTotals Application::totals(BasicGroupId id) const {
+  DTSE_CHECK(id.valid() && id.index() < groups_.size(), "unknown basic group id");
+  GroupTotals t;
+  for (const auto& body : bodies_) {
+    for (const auto& access : body.accesses) {
+      if (access.group != id) continue;
+      const double per_frame = access.per_iteration * static_cast<double>(body.iterations);
+      if (access.kind == AccessKind::kRead) {
+        t.reads += per_frame;
+      } else {
+        t.writes += per_frame;
+      }
+    }
+  }
+  return t;
+}
+
+double Application::total_accesses_per_frame() const {
+  double total = 0.0;
+  for (const auto& body : bodies_) total += body.accesses_per_frame();
+  return total;
+}
+
+void Application::erase_group(BasicGroupId id) {
+  DTSE_CHECK(id.valid() && id.index() < groups_.size(), "unknown basic group id");
+  for (const auto& body : bodies_) {
+    for (const auto& access : body.accesses) {
+      DTSE_CHECK(access.group != id,
+                 "cannot erase group " + groups_[id.index()].name + ": still accessed in " +
+                     body.name);
+    }
+  }
+  groups_.erase(groups_.begin() + static_cast<long>(id.index()));
+  auto remap = [&](BasicGroupId old_id) {
+    return old_id.index() > id.index() ? BasicGroupId(old_id.value() - 1) : old_id;
+  };
+  for (auto& body : bodies_) {
+    for (auto& access : body.accesses) access.group = remap(access.group);
+  }
+  std::map<BasicGroupId, ReuseProfile> remapped;
+  for (auto& [key, profile] : reuse_) {
+    if (key == id) continue;
+    remapped[remap(key)] = std::move(profile);
+  }
+  reuse_ = std::move(remapped);
+}
+
+namespace {
+
+// Kahn's algorithm: true iff the dependency relation of `body` is acyclic.
+bool deps_acyclic(const LoopBody& body) {
+  const std::size_t n = body.accesses.size();
+  std::vector<int> indegree(n, 0);
+  std::vector<std::vector<std::size_t>> out(n);
+  for (const auto& [from, to] : body.deps) {
+    out[from].push_back(to);
+    ++indegree[to];
+  }
+  std::queue<std::size_t> ready;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (indegree[i] == 0) ready.push(i);
+  }
+  std::size_t seen = 0;
+  while (!ready.empty()) {
+    const std::size_t node = ready.front();
+    ready.pop();
+    ++seen;
+    for (const auto next : out[node]) {
+      if (--indegree[next] == 0) ready.push(next);
+    }
+  }
+  return seen == n;
+}
+
+}  // namespace
+
+void Application::validate() const {
+  for (const auto& group : groups_) {
+    DTSE_CHECK(group.words > 0 && group.bitwidth > 0, "malformed group " + group.name);
+    DTSE_CHECK(group.hierarchy_layer >= 0, "negative hierarchy layer on " + group.name);
+  }
+  for (const auto& body : bodies_) {
+    const std::size_t n = body.accesses.size();
+    for (const auto& access : body.accesses) {
+      DTSE_CHECK(access.group.valid() && access.group.index() < groups_.size(),
+                 "dangling access in body " + body.name);
+    }
+    for (const auto& [from, to] : body.deps) {
+      DTSE_CHECK(from < n && to < n, "dependency index out of range in body " + body.name);
+      DTSE_CHECK(from != to, "self-dependency in body " + body.name);
+    }
+    DTSE_CHECK(deps_acyclic(body), "cyclic dependencies in body " + body.name);
+    for (const auto& co : body.co_accesses) {
+      DTSE_CHECK(co.access_a < n && co.access_b < n,
+                 "co-access index out of range in body " + body.name);
+      DTSE_CHECK(co.access_a != co.access_b, "co-access with itself in body " + body.name);
+      DTSE_CHECK(co.pairs_per_iteration >= 0.0, "negative co-access count in " + body.name);
+    }
+  }
+}
+
+std::string Application::to_string() const {
+  std::ostringstream os;
+  os << "application '" << name_ << "': " << groups_.size() << " basic groups, "
+     << bodies_.size() << " loop bodies\n";
+  for (std::size_t i = 0; i < groups_.size(); ++i) {
+    const auto& g = groups_[i];
+    const auto t = totals(BasicGroupId(static_cast<std::uint32_t>(i)));
+    os << "  bg[" << i << "] " << g.name << ": " << g.words << "w x " << g.bitwidth
+       << "b, layer " << g.hierarchy_layer << ", " << t.reads << " R + " << t.writes
+       << " W per frame\n";
+  }
+  for (const auto& b : bodies_) {
+    os << "  body " << b.name << ": x" << b.iterations << ", " << b.accesses.size()
+       << " accesses, " << b.deps.size() << " deps\n";
+  }
+  return os.str();
+}
+
+}  // namespace dtse::ir

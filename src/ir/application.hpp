@@ -1,0 +1,101 @@
+// The pruned application model.
+//
+// `Application` is the contract between profiling (trace), the system-level
+// transforms (structuring, hierarchy) and physical memory management (scbd,
+// alloc).  It is a value type: exploration variants are cheap copies with a
+// transform applied, mirroring the paper's point that alternatives are
+// explored on the pruned specification without full re-implementation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ir/basic_group.hpp"
+#include "ir/loop_body.hpp"
+
+namespace dtse::ir {
+
+/// Aggregated per-frame access totals for one basic group.
+struct GroupTotals {
+  double reads = 0.0;
+  double writes = 0.0;
+
+  [[nodiscard]] double total() const { return reads + writes; }
+};
+
+/// Miss counts of an LRU working-set simulation at a given capacity; the
+/// input to the memory hierarchy (data reuse) decision.
+struct WindowMisses {
+  std::uint64_t window_words = 0;
+  double misses_per_frame = 0.0;
+};
+
+/// Data reuse profile of one basic group (from trace simulation).
+struct ReuseProfile {
+  std::vector<WindowMisses> windows;  ///< sorted by window_words ascending
+};
+
+class Application {
+ public:
+  Application() = default;
+  explicit Application(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  // --- construction -------------------------------------------------------
+  BasicGroupId add_group(BasicGroup group);
+  LoopBodyId add_body(LoopBody body);
+  void set_reuse_profile(BasicGroupId id, ReuseProfile profile);
+
+  // --- access -------------------------------------------------------------
+  [[nodiscard]] std::size_t group_count() const { return groups_.size(); }
+  [[nodiscard]] std::size_t body_count() const { return bodies_.size(); }
+
+  [[nodiscard]] const BasicGroup& group(BasicGroupId id) const;
+  [[nodiscard]] BasicGroup& group(BasicGroupId id);
+  [[nodiscard]] const LoopBody& body(LoopBodyId id) const;
+  [[nodiscard]] LoopBody& body(LoopBodyId id);
+
+  [[nodiscard]] std::vector<BasicGroupId> group_ids() const;
+  [[nodiscard]] std::vector<LoopBodyId> body_ids() const;
+
+  /// Finds a basic group by name; groups have unique names.
+  [[nodiscard]] std::optional<BasicGroupId> find_group(std::string_view name) const;
+
+  [[nodiscard]] const ReuseProfile* reuse_profile(BasicGroupId id) const;
+
+  // --- derived quantities ---------------------------------------------------
+  /// Per-frame read/write totals of one group, summed over all loop bodies.
+  [[nodiscard]] GroupTotals totals(BasicGroupId id) const;
+
+  /// Per-frame access total over the whole application.
+  [[nodiscard]] double total_accesses_per_frame() const;
+
+  // --- editing (used by the system-level transforms) ------------------------
+  /// Removes a basic group that no access references any more (transforms
+  /// leave consumed groups behind as zero-access stubs).  Ids above `id`
+  /// shift down by one; all bodies and reuse profiles are remapped.
+  void erase_group(BasicGroupId id);
+
+  // --- integrity ------------------------------------------------------------
+  /// Verifies referential integrity (ids in range, dependency DAG acyclic,
+  /// co-access indices valid, positive geometries).  Throws ContractError
+  /// with a diagnostic on the first violation.
+  void validate() const;
+
+  /// Human-readable dump for reports and debugging.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::string name_;
+  std::vector<BasicGroup> groups_;
+  std::vector<LoopBody> bodies_;
+  std::map<BasicGroupId, ReuseProfile> reuse_;
+};
+
+}  // namespace dtse::ir

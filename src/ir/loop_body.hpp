@@ -1,0 +1,67 @@
+// Loop bodies and memory accesses.
+//
+// After pruning (Section 4.1) the application is a set of loop bodies, each
+// executed a manifest number of times per frame, containing the memory
+// accesses that matter.  Accesses carry *expected* per-iteration counts
+// because data-dependent conditionals make exact counts profile-derived.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ir/basic_group.hpp"
+
+namespace dtse::ir {
+
+struct LoopBodyTag {};
+using LoopBodyId = support::StrongId<LoopBodyTag>;
+
+enum class AccessKind : std::uint8_t { kRead, kWrite };
+
+[[nodiscard]] constexpr const char* to_string(AccessKind kind) {
+  return kind == AccessKind::kRead ? "read" : "write";
+}
+
+/// One (aggregated) memory access inside a loop body.
+struct Access {
+  BasicGroupId group;
+  AccessKind kind = AccessKind::kRead;
+  double per_iteration = 1.0;     ///< expected accesses per body iteration
+  double stride1_fraction = 0.0;  ///< fraction at exactly stride-1 (page runs)
+  double dense_fraction = 0.0;    ///< fraction at small stride (1..3 words):
+                                  ///< candidates for word-level compaction
+                                  ///< and DRAM page-mode hits
+  double dense_stride = 1.0;      ///< average stride of the dense portion
+};
+
+/// Reads of two different accesses that statistically hit the same index in
+/// the same iteration — the precondition for profitable basic group merging.
+struct CoAccess {
+  std::size_t access_a = 0;       ///< index into LoopBody::accesses
+  std::size_t access_b = 0;
+  double pairs_per_iteration = 0.0;
+};
+
+/// Dependency: accesses[first] must precede accesses[second] within one
+/// iteration (flow of data through the datapath).
+using Dependency = std::pair<std::size_t, std::size_t>;
+
+/// One pruned loop body.
+struct LoopBody {
+  std::string name;
+  std::uint64_t iterations = 1;   ///< executions per frame
+  std::vector<Access> accesses;
+  std::vector<Dependency> deps;
+  std::vector<CoAccess> co_accesses;
+
+  /// Total expected accesses per frame contributed by this body.
+  [[nodiscard]] double accesses_per_frame() const {
+    double total = 0.0;
+    for (const auto& a : accesses) total += a.per_iteration;
+    return total * static_cast<double>(iterations);
+  }
+};
+
+}  // namespace dtse::ir

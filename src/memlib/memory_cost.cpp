@@ -1,0 +1,17 @@
+#include "memlib/memory_cost.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+namespace dtse::memlib {
+
+std::ostream& operator<<(std::ostream& os, const CostSummary& summary) {
+  const auto flags = os.flags();
+  os << std::fixed << std::setprecision(1) << "on-chip area " << summary.onchip_area_mm2
+     << " mm^2, on-chip power " << summary.onchip_power_mw << " mW, off-chip power "
+     << summary.offchip_power_mw << " mW";
+  os.flags(flags);
+  return os;
+}
+
+}  // namespace dtse::memlib

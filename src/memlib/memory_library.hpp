@@ -1,0 +1,58 @@
+// Aggregated memory technology library.
+//
+// Bundles the on-chip SRAM generator model and the off-chip DRAM catalogue
+// behind one interface, together with the system timing context needed to
+// convert per-frame energies into the power figures reported in the paper.
+#pragma once
+
+#include <cstdint>
+
+#include "memlib/dram_model.hpp"
+#include "memlib/memory_cost.hpp"
+#include "memlib/sram_model.hpp"
+
+namespace dtse::memlib {
+
+/// System timing context.  The BTPC design goal is 1 Mpixel/s on a 1024x1024
+/// image, and the storage cycle budget derived from it is ~20M cycles per
+/// frame, which corresponds to a 20 MHz memory system clock.
+struct ClockSpec {
+  double frequency_mhz = 20.0;
+
+  [[nodiscard]] double cycle_ns() const { return 1000.0 / frequency_mhz; }
+
+  /// Wall-clock seconds for a number of cycles.
+  [[nodiscard]] double seconds(std::uint64_t cycles) const {
+    return static_cast<double>(cycles) / (frequency_mhz * 1e6);
+  }
+};
+
+/// The full memory technology library used by estimation and allocation.
+class MemoryLibrary {
+ public:
+  MemoryLibrary() = default;
+  MemoryLibrary(SramModel sram, DramModel dram, ClockSpec clock)
+      : sram_(std::move(sram)), dram_(std::move(dram)), clock_(clock) {}
+
+  [[nodiscard]] const SramModel& sram() const { return sram_; }
+  [[nodiscard]] const DramModel& dram() const { return dram_; }
+  [[nodiscard]] const ClockSpec& clock() const { return clock_; }
+
+  /// Average power [mW] of an on-chip memory given per-frame access counts
+  /// and the frame duration implied by `frame_cycles`.
+  [[nodiscard]] double onchip_power_mw(const MemoryCost& cost, std::uint64_t reads,
+                                       std::uint64_t writes,
+                                       std::uint64_t frame_cycles) const;
+
+  /// Average power [mW] of an off-chip selection under the same conditions.
+  [[nodiscard]] double offchip_power_mw(const DramSelection& selection, std::uint64_t reads,
+                                        std::uint64_t writes,
+                                        std::uint64_t frame_cycles) const;
+
+ private:
+  SramModel sram_;
+  DramModel dram_;
+  ClockSpec clock_;
+};
+
+}  // namespace dtse::memlib

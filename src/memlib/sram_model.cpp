@@ -1,0 +1,42 @@
+#include "memlib/sram_model.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace dtse::memlib {
+
+MemoryCost SramModel::cost(std::uint64_t words, int width_bits, PortCount ports) const {
+  DTSE_CHECK(words > 0, "SRAM block needs at least one word");
+  DTSE_CHECK(width_bits > 0, "SRAM width must be positive");
+  DTSE_CHECK(words <= params_.max_words, "SRAM block exceeds generator capacity");
+  DTSE_CHECK(width_bits <= params_.max_width_bits, "SRAM width exceeds generator limit");
+
+  const double bits = static_cast<double>(words) * static_cast<double>(width_bits);
+  const double sqrt_bits = std::sqrt(bits);
+
+  MemoryCost c;
+  c.area_mm2 = bits * params_.cell_area_um2_per_bit * 1e-6 +
+               params_.periphery_area_mm2 +
+               params_.periphery_area_per_bit_mm2 * static_cast<double>(width_bits);
+  c.read_energy_nj = params_.energy_base_nj +
+                     params_.energy_per_sqrt_bit_nj * sqrt_bits +
+                     params_.energy_width_factor_nj * static_cast<double>(width_bits);
+  c.write_energy_nj = c.read_energy_nj * params_.write_energy_factor;
+  c.static_power_mw = params_.leakage_uw_per_kbit * (bits / 1024.0) * 1e-3;
+  c.access_time_ns = params_.access_time_base_ns +
+                     params_.access_time_per_sqrt_bit_ns * sqrt_bits;
+
+  if (ports == PortCount::kDual) {
+    c.area_mm2 = bits * params_.cell_area_um2_per_bit * 1e-6 * params_.dual_port_area_factor +
+                 2.0 * params_.periphery_area_mm2 +
+                 2.0 * params_.periphery_area_per_bit_mm2 * static_cast<double>(width_bits);
+    c.read_energy_nj *= params_.dual_port_energy_factor;
+    c.write_energy_nj *= params_.dual_port_energy_factor;
+    c.static_power_mw *= 1.6;
+    c.access_time_ns *= 1.15;
+  }
+  return c;
+}
+
+}  // namespace dtse::memlib

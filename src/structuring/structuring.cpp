@@ -1,0 +1,201 @@
+#include "structuring/structuring.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace dtse::structuring {
+
+ir::Application apply_compaction(const ir::Application& app, ir::BasicGroupId target,
+                                 int factor, int max_bitwidth) {
+  DTSE_CHECK(factor >= 2, "compaction factor must be at least 2");
+  ir::Application result = app;
+  auto& group = result.group(target);
+  DTSE_CHECK(group.bitwidth * factor <= max_bitwidth,
+             "compacted bitwidth exceeds the memory generator limit");
+
+  group.words = (group.words + static_cast<std::uint64_t>(factor) - 1) /
+                static_cast<std::uint64_t>(factor);
+  group.bitwidth *= factor;
+  group.name += "_c" + std::to_string(factor);
+
+  for (const auto body_id : result.body_ids()) {
+    auto& body = result.body(body_id);
+
+    // Same-index co-access with other arrays no longer holds after the
+    // index space shrinks by `factor`; drop those merging hints.
+    std::erase_if(body.co_accesses, [&](const ir::CoAccess& co) {
+      return body.accesses[co.access_a].group == target ||
+             body.accesses[co.access_b].group == target;
+    });
+
+    const std::size_t original_count = body.accesses.size();
+    for (std::size_t i = 0; i < original_count; ++i) {
+      // Note: push_back below may reallocate, so never hold a reference to
+      // body.accesses[i] across it.
+      if (body.accesses[i].group != target) continue;
+      // The dense portion (average index stride s <= 3) lands f/s accesses
+      // in each pack of f words and collapses to one wide access per pack.
+      const double stride = std::max(1.0, body.accesses[i].dense_stride);
+      const double dense = body.accesses[i].per_iteration * body.accesses[i].dense_fraction;
+      const double isolated = body.accesses[i].per_iteration - dense;
+      const double packs = dense * stride / static_cast<double>(factor);
+
+      if (body.accesses[i].kind == ir::AccessKind::kWrite) {
+        // A pack that is only partially covered (stride > 1) and every
+        // isolated write must fetch the pack first to preserve the sibling
+        // subwords (read-modify-write).
+        const double rmw = (stride > 1.0 + 1e-9 ? packs : 0.0) + isolated;
+        if (rmw > 1e-12) {
+          ir::Access rmw_read;
+          rmw_read.group = target;
+          rmw_read.kind = ir::AccessKind::kRead;
+          rmw_read.per_iteration = rmw;
+          body.accesses.push_back(rmw_read);
+          body.deps.emplace_back(body.accesses.size() - 1, i);
+        }
+      }
+      auto& access = body.accesses[i];
+      access.per_iteration = packs + isolated;
+      // Pack-level accesses of the collapsed portion are pack-sequential.
+      access.stride1_fraction =
+          access.per_iteration > 1e-12 ? packs / access.per_iteration : 0.0;
+      access.dense_fraction = access.stride1_fraction;
+      access.dense_stride = 1.0;
+    }
+  }
+  result.validate();
+  return result;
+}
+
+namespace {
+
+/// Sum of same-kind co-access pairs between accesses to groups a and b in
+/// one body, clamped by the actual access counts.
+double body_pairs(const ir::LoopBody& body, ir::BasicGroupId a, ir::BasicGroupId b,
+                  ir::AccessKind kind) {
+  double pairs = 0.0;
+  for (const auto& co : body.co_accesses) {
+    const auto& acc_a = body.accesses[co.access_a];
+    const auto& acc_b = body.accesses[co.access_b];
+    if (acc_a.kind != kind || acc_b.kind != kind) continue;
+    const bool match = (acc_a.group == a && acc_b.group == b) ||
+                       (acc_a.group == b && acc_b.group == a);
+    if (!match) continue;
+    pairs += std::min({co.pairs_per_iteration, acc_a.per_iteration, acc_b.per_iteration});
+  }
+  return pairs;
+}
+
+}  // namespace
+
+ir::Application apply_merging(const ir::Application& app, ir::BasicGroupId a,
+                              ir::BasicGroupId b, std::string merged_name) {
+  DTSE_CHECK(a != b, "cannot merge a group with itself");
+  const auto& group_a = app.group(a);
+  const auto& group_b = app.group(b);
+  const auto lo = std::min(group_a.words, group_b.words);
+  const auto hi = std::max(group_a.words, group_b.words);
+  DTSE_CHECK(hi <= 2 * lo, "groups with very different word counts cannot form records");
+  DTSE_CHECK(!group_a.forced_location || !group_b.forced_location ||
+                 group_a.forced_location == group_b.forced_location,
+             "conflicting forced locations");
+
+  ir::Application result = app;
+  auto& merged = result.group(a);
+  merged.name = std::move(merged_name);
+  merged.words = hi;
+  merged.bitwidth = group_a.bitwidth + group_b.bitwidth;
+  merged.hierarchy_layer = std::min(group_a.hierarchy_layer, group_b.hierarchy_layer);
+  if (!merged.forced_location) merged.forced_location = group_b.forced_location;
+
+  for (const auto body_id : result.body_ids()) {
+    auto& body = result.body(body_id);
+    const std::size_t original_count = body.accesses.size();
+    const double read_pairs = body_pairs(body, a, b, ir::AccessKind::kRead);
+    const double write_pairs = body_pairs(body, a, b, ir::AccessKind::kWrite);
+
+    // Consume the internal co-access hints before indices move around.
+    std::erase_if(body.co_accesses, [&](const ir::CoAccess& co) {
+      const auto ga = body.accesses[co.access_a].group;
+      const auto gb = body.accesses[co.access_b].group;
+      return (ga == a && gb == b) || (ga == b && gb == a);
+    });
+
+    for (const auto kind : {ir::AccessKind::kRead, ir::AccessKind::kWrite}) {
+      const double pairs = kind == ir::AccessKind::kRead ? read_pairs : write_pairs;
+      if (pairs <= 1e-12) continue;
+      // Collapse the co-accessed portion: subtract from both constituents,
+      // then add one access of the merged record.
+      double min_stride1 = 1.0;
+      double min_dense = 1.0;
+      double dense_stride = 1.0;
+      for (std::size_t i = 0; i < original_count; ++i) {
+        auto& access = body.accesses[i];
+        if ((access.group == a || access.group == b) && access.kind == kind) {
+          access.per_iteration = std::max(0.0, access.per_iteration - pairs);
+          min_stride1 = std::min(min_stride1, access.stride1_fraction);
+          min_dense = std::min(min_dense, access.dense_fraction);
+          dense_stride = std::max(dense_stride, access.dense_stride);
+        }
+      }
+      // The record access walks the same index sequence as its constituents;
+      // the conservative (minimum) locality of the two is kept.
+      ir::Access merged_access;
+      merged_access.group = a;
+      merged_access.kind = kind;
+      merged_access.per_iteration = pairs;
+      merged_access.stride1_fraction = min_stride1;
+      merged_access.dense_fraction = min_dense;
+      merged_access.dense_stride = dense_stride;
+      body.accesses.push_back(merged_access);
+    }
+
+    // Retarget the original constituents' remaining solo accesses; lone
+    // writes touch only one field of the record and must fetch it first
+    // (read-modify-write).  The merged pair accesses appended above write
+    // the whole record and need no companion read.
+    for (std::size_t i = 0; i < original_count; ++i) {
+      auto& access = body.accesses[i];
+      if (access.group != b && access.group != a) continue;
+      access.group = a;
+      if (access.kind == ir::AccessKind::kWrite && access.per_iteration > 1e-12) {
+        ir::Access rmw_read;
+        rmw_read.group = a;
+        rmw_read.kind = ir::AccessKind::kRead;
+        rmw_read.per_iteration = access.per_iteration;
+        body.accesses.push_back(rmw_read);
+        body.deps.emplace_back(body.accesses.size() - 1, i);
+      }
+    }
+  }
+
+  // `b` is now unreferenced (all accesses retargeted); drop the stub.
+  result.erase_group(b);
+  result.validate();
+  return result;
+}
+
+int recommended_compaction_factor(const ir::Application& app, ir::BasicGroupId target,
+                                  int reference_bitwidth) {
+  const auto& group = app.group(target);
+  if (group.bitwidth >= reference_bitwidth) return 1;
+  return std::max(1, reference_bitwidth / group.bitwidth);
+}
+
+double co_access_affinity(const ir::Application& app, ir::BasicGroupId a,
+                          ir::BasicGroupId b) {
+  double pairs = 0.0;
+  for (const auto body_id : app.body_ids()) {
+    const auto& body = app.body(body_id);
+    pairs += body_pairs(body, a, b, ir::AccessKind::kRead) *
+             static_cast<double>(body.iterations);
+  }
+  const double reads_a = app.totals(a).reads;
+  const double reads_b = app.totals(b).reads;
+  const double denom = std::min(reads_a, reads_b);
+  return denom > 0.0 ? std::min(1.0, pairs / denom) : 0.0;
+}
+
+}  // namespace dtse::structuring

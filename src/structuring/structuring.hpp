@@ -1,0 +1,55 @@
+// Basic group (re)structuring — Section 4.3, Figure 2.
+//
+// Two exploration axes on the array structure itself:
+//
+//  * COMPACTION packs `factor` consecutive words of one narrow array into a
+//    single wide word.  Stride-1 runs of reads/writes collapse by `factor`;
+//    isolated writes become read-modify-write (an extra read keeps the
+//    untouched subwords intact).  The pay-off is bitwidth matching: a 2-bit
+//    array no longer wastes the upper bits of an 8-bit memory.
+//
+//  * MERGING interleaves two arrays into one array of records.  Same-index
+//    co-accesses of equal kind collapse into a single access of the combined
+//    width; accesses touching only one constituent still cost a full-width
+//    access, and lone writes turn into read-modify-write.
+//
+// Both are pure IR -> IR transforms: the designer explores them on the
+// pruned model, only the winning variant is ever implemented in full detail.
+#pragma once
+
+#include <string>
+
+#include "ir/application.hpp"
+
+namespace dtse::structuring {
+
+/// Packs `factor` words of `target` into one wide word.  Returns the
+/// transformed copy; `target` keeps its id but changes geometry and name
+/// (suffix "_c<factor>").  Throws ContractError for factor < 2 or when the
+/// widened group would exceed `max_bitwidth`.
+[[nodiscard]] ir::Application apply_compaction(const ir::Application& app,
+                                               ir::BasicGroupId target, int factor,
+                                               int max_bitwidth = 64);
+
+/// Merges groups `a` and `b` into one record array named `merged_name`.
+/// The merged group reuses `a`'s id; `b` remains as a zero-access stub so
+/// ids stay stable (it is dropped from allocation by its zero totals).
+/// Requires equal word counts up to a factor of 2 (record arrays must index
+/// together); throws otherwise.
+[[nodiscard]] ir::Application apply_merging(const ir::Application& app, ir::BasicGroupId a,
+                                            ir::BasicGroupId b, std::string merged_name);
+
+/// Suggests a compaction factor bringing `target`'s bitwidth close to
+/// `reference_bitwidth` (e.g. 4 for a 2-bit array among 8-bit ones);
+/// returns 1 when compaction is pointless.
+[[nodiscard]] int recommended_compaction_factor(const ir::Application& app,
+                                                ir::BasicGroupId target,
+                                                int reference_bitwidth = 8);
+
+/// Measures how often `a` and `b` are read together at the same index, as a
+/// fraction of the smaller group's reads (1.0 = always co-read — the
+/// paper's ridge/pyr case).  Used to rank merging candidates.
+[[nodiscard]] double co_access_affinity(const ir::Application& app, ir::BasicGroupId a,
+                                        ir::BasicGroupId b);
+
+}  // namespace dtse::structuring

@@ -1,0 +1,59 @@
+// Contract checking helpers.
+//
+// Library code validates preconditions with `DTSE_CHECK` which throws
+// `support::ContractError` (deriving from std::logic_error) so callers and
+// tests can observe violations.  Internal invariants that indicate a bug in
+// this library itself use `DTSE_ASSERT`, which also throws, keeping behaviour
+// identical between build types (no NDEBUG surprises).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace dtse::support {
+
+/// Thrown when a caller violates a documented precondition.
+class ContractError : public std::logic_error {
+ public:
+  explicit ContractError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when an internal invariant of the library is broken (a bug here).
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise_contract(std::string_view cond, std::string_view file, int line,
+                                        std::string_view msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << cond << " (" << file << ':' << line << ')';
+  if (!msg.empty()) os << ": " << msg;
+  throw ContractError(os.str());
+}
+
+[[noreturn]] inline void raise_internal(std::string_view cond, std::string_view file, int line,
+                                        std::string_view msg) {
+  std::ostringstream os;
+  os << "internal invariant failed: " << cond << " (" << file << ':' << line << ')';
+  if (!msg.empty()) os << ": " << msg;
+  throw InternalError(os.str());
+}
+}  // namespace detail
+
+}  // namespace dtse::support
+
+#define DTSE_CHECK(cond, msg)                                                       \
+  do {                                                                              \
+    if (!(cond)) ::dtse::support::detail::raise_contract(#cond, __FILE__, __LINE__, \
+                                                         (msg));                    \
+  } while (false)
+
+#define DTSE_ASSERT(cond, msg)                                                      \
+  do {                                                                              \
+    if (!(cond)) ::dtse::support::detail::raise_internal(#cond, __FILE__, __LINE__, \
+                                                         (msg));                    \
+  } while (false)

@@ -1,0 +1,200 @@
+#include "support/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace dtse::support {
+
+Image::Image(int width, int height, std::uint16_t fill)
+    : width_(width), height_(height),
+      pixels_(static_cast<std::size_t>(width) * static_cast<std::size_t>(height), fill) {
+  DTSE_CHECK(width > 0 && height > 0, "image dimensions must be positive");
+}
+
+std::uint16_t Image::at(int x, int y) const {
+  DTSE_CHECK(x >= 0 && x < width_ && y >= 0 && y < height_, "pixel out of bounds");
+  return pixels_[static_cast<std::size_t>(y) * width_ + x];
+}
+
+std::uint16_t& Image::at(int x, int y) {
+  DTSE_CHECK(x >= 0 && x < width_ && y >= 0 && y < height_, "pixel out of bounds");
+  return pixels_[static_cast<std::size_t>(y) * width_ + x];
+}
+
+double Image::mean_abs_diff(const Image& a, const Image& b) {
+  DTSE_CHECK(a.width() == b.width() && a.height() == b.height(),
+             "images must have identical dimensions");
+  if (a.size() == 0) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.pixels().size(); ++i) {
+    sum += std::abs(static_cast<double>(a.pixels()[i]) - static_cast<double>(b.pixels()[i]));
+  }
+  return sum / static_cast<double>(a.size());
+}
+
+double Image::psnr(const Image& a, const Image& b) {
+  DTSE_CHECK(a.width() == b.width() && a.height() == b.height(),
+             "images must have identical dimensions");
+  double mse = 0.0;
+  for (std::size_t i = 0; i < a.pixels().size(); ++i) {
+    const double d = static_cast<double>(a.pixels()[i]) - static_cast<double>(b.pixels()[i]);
+    mse += d * d;
+  }
+  mse /= static_cast<double>(std::max<std::size_t>(a.size(), 1));
+  if (mse == 0.0) return std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+namespace {
+
+// Skips whitespace and '#' comments in a PGM header stream.
+void skip_pgm_separators(std::istream& in) {
+  for (;;) {
+    const int c = in.peek();
+    if (c == '#') {
+      std::string line;
+      std::getline(in, line);
+    } else if (std::isspace(c)) {
+      in.get();
+    } else {
+      return;
+    }
+  }
+}
+
+int read_pgm_int(std::istream& in) {
+  skip_pgm_separators(in);
+  int value = 0;
+  in >> value;
+  if (!in) throw std::runtime_error("malformed PGM header");
+  return value;
+}
+
+}  // namespace
+
+Image load_pgm(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open PGM file: " + path.string());
+  std::string magic;
+  in >> magic;
+  if (magic != "P5" && magic != "P2") throw std::runtime_error("not a PGM file: " + path.string());
+  const int width = read_pgm_int(in);
+  const int height = read_pgm_int(in);
+  const int maxval = read_pgm_int(in);
+  if (width <= 0 || height <= 0 || maxval <= 0 || maxval > 65535) {
+    throw std::runtime_error("unsupported PGM geometry: " + path.string());
+  }
+  Image image(width, height);
+  if (magic == "P2") {
+    for (auto& px : image.pixels()) {
+      int v = read_pgm_int(in);
+      px = static_cast<std::uint16_t>(std::clamp(v, 0, maxval));
+    }
+  } else {
+    in.get();  // single whitespace after maxval
+    const bool two_bytes = maxval > 255;
+    for (auto& px : image.pixels()) {
+      if (two_bytes) {
+        const int hi = in.get();
+        const int lo = in.get();
+        if (hi < 0 || lo < 0) throw std::runtime_error("truncated PGM data");
+        px = static_cast<std::uint16_t>((hi << 8) | lo);
+      } else {
+        const int v = in.get();
+        if (v < 0) throw std::runtime_error("truncated PGM data");
+        px = static_cast<std::uint16_t>(v);
+      }
+    }
+  }
+  return image;
+}
+
+void save_pgm(const Image& image, const std::filesystem::path& path) {
+  DTSE_CHECK(!image.empty(), "cannot save empty image");
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot create PGM file: " + path.string());
+  out << "P5\n" << image.width() << ' ' << image.height() << "\n255\n";
+  for (const auto px : image.pixels()) {
+    out.put(static_cast<char>(std::min<std::uint16_t>(px, 255)));
+  }
+}
+
+namespace {
+
+// Smooth value-noise: bilinear interpolation of a coarse random lattice.
+double value_noise(Rng& rng_unused, const std::vector<double>& lattice, int lattice_w,
+                   double x, double y) {
+  (void)rng_unused;
+  const int x0 = static_cast<int>(x);
+  const int y0 = static_cast<int>(y);
+  const double fx = x - x0;
+  const double fy = y - y0;
+  auto at = [&](int ix, int iy) {
+    return lattice[static_cast<std::size_t>(iy) * lattice_w + ix];
+  };
+  const double top = at(x0, y0) * (1 - fx) + at(x0 + 1, y0) * fx;
+  const double bot = at(x0, y0 + 1) * (1 - fx) + at(x0 + 1, y0 + 1) * fx;
+  return top * (1 - fy) + bot * fy;
+}
+
+}  // namespace
+
+Image make_synthetic_image(int width, int height, SyntheticKind kind, std::uint64_t seed) {
+  DTSE_CHECK(width > 0 && height > 0, "image dimensions must be positive");
+  Rng rng(seed);
+  Image image(width, height);
+
+  // Base: diagonal gradient.
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const double g = 255.0 * (x + y) / static_cast<double>(width + height - 2 + 1);
+      image.at(x, y) = static_cast<std::uint16_t>(g);
+    }
+  }
+  if (kind == SyntheticKind::kGradient) return image;
+
+  if (kind == SyntheticKind::kTexture || kind == SyntheticKind::kCompound) {
+    // Band-limited texture from a coarse value-noise lattice.
+    const int cell = 16;
+    const int lw = width / cell + 2;
+    const int lh = height / cell + 2;
+    std::vector<double> lattice(static_cast<std::size_t>(lw) * lh);
+    for (auto& v : lattice) v = rng.uniform(-40.0, 40.0);
+    for (int y = 0; y < height; ++y) {
+      for (int x = 0; x < width; ++x) {
+        const double n =
+            value_noise(rng, lattice, lw, x / static_cast<double>(cell),
+                        y / static_cast<double>(cell));
+        const int v = static_cast<int>(image.at(x, y)) + static_cast<int>(n);
+        image.at(x, y) = static_cast<std::uint16_t>(std::clamp(v, 0, 255));
+      }
+    }
+    if (kind == SyntheticKind::kTexture) return image;
+  }
+
+  // Sharp-edged rectangles (document/graphics-like content).
+  const int rect_count = std::max(4, width * height / 16384);
+  for (int r = 0; r < rect_count; ++r) {
+    const int rw = 4 + static_cast<int>(rng.below(static_cast<std::uint64_t>(width / 4 + 1)));
+    const int rh = 4 + static_cast<int>(rng.below(static_cast<std::uint64_t>(height / 4 + 1)));
+    const int rx = static_cast<int>(rng.below(static_cast<std::uint64_t>(std::max(1, width - rw))));
+    const int ry =
+        static_cast<int>(rng.below(static_cast<std::uint64_t>(std::max(1, height - rh))));
+    const auto shade = static_cast<std::uint16_t>(rng.below(256));
+    for (int y = ry; y < std::min(height, ry + rh); ++y) {
+      for (int x = rx; x < std::min(width, rx + rw); ++x) {
+        image.at(x, y) = shade;
+      }
+    }
+  }
+  return image;
+}
+
+}  // namespace dtse::support

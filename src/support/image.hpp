@@ -1,0 +1,67 @@
+// Grayscale image container, PGM I/O, and a synthetic image generator.
+//
+// The BTPC demonstrator needs 8-bit grayscale inputs up to 1024x1024.  The
+// paper's authors used real test images; we substitute a deterministic
+// synthetic generator (smooth gradients + textured regions + sharp edges)
+// which exercises all predictor patterns and both smooth/ridge pixel classes.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace dtse::support {
+
+/// A simple row-major grayscale image with 16-bit sample storage (BTPC
+/// pyramid levels can exceed 8 bits before prediction).
+class Image {
+ public:
+  Image() = default;
+  Image(int width, int height, std::uint16_t fill = 0);
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+  [[nodiscard]] std::size_t size() const { return pixels_.size(); }
+  [[nodiscard]] bool empty() const { return pixels_.empty(); }
+
+  [[nodiscard]] std::uint16_t at(int x, int y) const;
+  std::uint16_t& at(int x, int y);
+
+  [[nodiscard]] const std::vector<std::uint16_t>& pixels() const { return pixels_; }
+  std::vector<std::uint16_t>& pixels() { return pixels_; }
+
+  /// Mean absolute difference between two equally sized images.
+  [[nodiscard]] static double mean_abs_diff(const Image& a, const Image& b);
+
+  /// Peak signal-to-noise ratio (dB) assuming 8-bit range; returns +inf for
+  /// identical images.
+  [[nodiscard]] static double psnr(const Image& a, const Image& b);
+
+  bool operator==(const Image&) const = default;
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<std::uint16_t> pixels_;
+};
+
+/// Reads a binary (P5) or ASCII (P2) PGM file.  Throws std::runtime_error on
+/// malformed input.
+Image load_pgm(const std::filesystem::path& path);
+
+/// Writes a binary (P5) PGM file clamping samples to 8 bits.
+void save_pgm(const Image& image, const std::filesystem::path& path);
+
+/// Kinds of synthetic content, chosen to stress different BTPC behaviours.
+enum class SyntheticKind {
+  kGradient,   ///< smooth diagonal ramp — highly predictable
+  kTexture,    ///< band-limited noise — moderate entropy
+  kEdges,      ///< random rectangles — sharp discontinuities, many "ridge" pixels
+  kCompound,   ///< mixture of the above, closest to natural document images
+};
+
+/// Deterministically generates a synthetic 8-bit test image.
+Image make_synthetic_image(int width, int height, SyntheticKind kind, std::uint64_t seed);
+
+}  // namespace dtse::support

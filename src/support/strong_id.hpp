@@ -1,0 +1,47 @@
+// Strongly-typed integer identifiers.
+//
+// The IR hands out ids for basic groups, loop bodies, memories, etc.  Using a
+// distinct type per id family prevents accidentally indexing the wrong table.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace dtse::support {
+
+/// A strongly typed index.  `Tag` is a phantom type distinguishing families.
+template <typename Tag>
+class StrongId {
+ public:
+  using underlying_type = std::uint32_t;
+  static constexpr underlying_type kInvalid = ~underlying_type{0};
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(underlying_type v) : value_(v) {}
+
+  [[nodiscard]] constexpr underlying_type value() const { return value_; }
+  [[nodiscard]] constexpr std::size_t index() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    if (!id.valid()) return os << "<invalid>";
+    return os << '#' << id.value();
+  }
+
+ private:
+  underlying_type value_ = kInvalid;
+};
+
+}  // namespace dtse::support
+
+template <typename Tag>
+struct std::hash<dtse::support::StrongId<Tag>> {
+  std::size_t operator()(dtse::support::StrongId<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};

@@ -1,0 +1,33 @@
+// Console table formatting for the benchmark/report binaries.
+//
+// Every bench prints a table shaped like the corresponding table in the
+// paper; this tiny formatter keeps them consistent and readable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dtse::support {
+
+/// A simple left/right aligned text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; the row must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats cell contents with a fixed number of decimals.
+  static std::string num(double value, int decimals = 1);
+
+  /// Renders the table with a separator under the header row.
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dtse::support

@@ -1,0 +1,239 @@
+#include "trace/recorder.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace dtse::trace {
+
+Recorder::Recorder(std::string application_name) : app_name_(std::move(application_name)) {}
+
+ArrayId Recorder::register_array(std::string name, std::uint64_t words, int bitwidth,
+                                 std::optional<memlib::Location> forced_location) {
+  DTSE_CHECK(!name.empty(), "array needs a name");
+  DTSE_CHECK(words > 0 && bitwidth > 0, "array geometry must be positive");
+  for (const auto& info : arrays_) {
+    DTSE_CHECK(info.name != name, "duplicate array name: " + name);
+  }
+  ArrayInfo info;
+  info.name = std::move(name);
+  info.words = words;
+  info.bitwidth = bitwidth;
+  info.forced_location = forced_location;
+  arrays_.push_back(std::move(info));
+  return static_cast<ArrayId>(arrays_.size() - 1);
+}
+
+void Recorder::set_reuse_windows(ArrayId array, std::vector<WindowSpec> windows) {
+  DTSE_CHECK(array < arrays_.size(), "unknown array");
+  std::sort(windows.begin(), windows.end(),
+            [](const WindowSpec& a, const WindowSpec& b) {
+              return a.declared_words < b.declared_words;
+            });
+  auto& reuse = arrays_[array].reuse;
+  reuse.clear();
+  for (const auto& window : windows) {
+    DTSE_CHECK(window.sim_words > 0 && window.declared_words > 0,
+               "reuse window must hold at least one word");
+    LruSim sim;
+    sim.capacity = window.sim_words;
+    sim.declared_capacity = window.declared_words;
+    reuse.push_back(std::move(sim));
+  }
+}
+
+void Recorder::set_reuse_windows(ArrayId array,
+                                 const std::vector<std::uint64_t>& window_words) {
+  std::vector<WindowSpec> windows;
+  windows.reserve(window_words.size());
+  for (const auto w : window_words) windows.push_back({w, w});
+  set_reuse_windows(array, std::move(windows));
+}
+
+void Recorder::begin_iteration(std::string_view body_name) {
+  DTSE_CHECK(current_body_ < 0, "iterations cannot nest; end the previous one first");
+  auto it = body_index_.find(body_name);
+  if (it == body_index_.end()) {
+    BodyInfo body;
+    body.name = std::string(body_name);
+    bodies_.push_back(std::move(body));
+    it = body_index_.emplace(std::string(body_name), bodies_.size() - 1).first;
+  }
+  current_body_ = static_cast<long>(it->second);
+  pending_.clear();
+}
+
+void Recorder::record(ArrayId array, std::uint64_t index, ir::AccessKind kind) {
+  DTSE_CHECK(array < arrays_.size(), "unknown array");
+  DTSE_CHECK(current_body_ >= 0, "record() outside of an Iteration scope");
+  pending_.push_back({array, index, kind});
+  ++total_events_;
+  // Reuse simulation tracks read locality only: copies into a hierarchy
+  // layer serve reads, writes go to the backing store anyway.
+  if (kind == ir::AccessKind::kRead) {
+    for (auto& sim : arrays_[array].reuse) sim.touch(index);
+  }
+}
+
+void Recorder::LruSim::touch(std::uint64_t index) {
+  const auto it = where.find(index);
+  if (it != where.end()) {
+    order.erase(it->second);
+    order.push_front(index);
+    it->second = order.begin();
+    return;
+  }
+  ++misses;
+  order.push_front(index);
+  where[index] = order.begin();
+  if (order.size() > capacity) {
+    where.erase(order.back());
+    order.pop_back();
+  }
+}
+
+void Recorder::end_iteration() {
+  DTSE_CHECK(current_body_ >= 0, "no iteration in progress");
+  aggregate_iteration();
+  current_body_ = -1;
+  pending_.clear();
+}
+
+void Recorder::aggregate_iteration() {
+  auto& body = bodies_[static_cast<std::size_t>(current_body_)];
+  ++body.iterations;
+
+  for (const auto& event : pending_) {
+    auto& agg = body.accesses[{event.array, event.kind}];
+    if (agg.has_last && event.index > agg.last_index) {
+      const std::uint64_t delta = event.index - agg.last_index;
+      if (delta == 1) ++agg.stride1;
+      if (delta <= 3) {
+        ++agg.dense;
+        agg.dense_delta += delta;
+      }
+    }
+    agg.last_index = event.index;
+    agg.has_last = true;
+    ++agg.count;
+  }
+
+  // Same-index co-accesses of the same kind between different arrays.
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    for (std::size_t j = i + 1; j < pending_.size(); ++j) {
+      const auto& a = pending_[i];
+      const auto& b = pending_[j];
+      if (a.kind != b.kind || a.array == b.array || a.index != b.index) continue;
+      const auto lo = std::min(a.array, b.array);
+      const auto hi = std::max(a.array, b.array);
+      ++body.co_access[{a.kind, lo, hi}];
+    }
+  }
+
+  // Dependency skeleton, captured once from the first iteration.  Because
+  // accesses aggregate into one node per (array, kind), edges must follow a
+  // single total order or they could form cycles; we use the first
+  // occurrence of each node within the iteration.  A read gates every write
+  // first seen later (values flow from inputs through the datapath to
+  // outputs) and same-array accesses stay ordered (flow through memory).
+  if (!body.deps_captured) {
+    body.deps_captured = true;
+    std::vector<std::pair<ArrayId, ir::AccessKind>> first_seen;
+    for (const auto& event : pending_) {
+      const auto key = std::make_pair(event.array, event.kind);
+      if (std::find(first_seen.begin(), first_seen.end(), key) == first_seen.end()) {
+        first_seen.push_back(key);
+      }
+    }
+    for (std::size_t i = 0; i < first_seen.size(); ++i) {
+      for (std::size_t j = i + 1; j < first_seen.size(); ++j) {
+        const auto& from = first_seen[i];
+        const auto& to = first_seen[j];
+        const bool read_to_write =
+            from.second == ir::AccessKind::kRead && to.second == ir::AccessKind::kWrite;
+        const bool same_array = from.first == to.first;
+        if (read_to_write || same_array) body.deps.emplace_back(from, to);
+      }
+    }
+  }
+}
+
+ir::Application Recorder::build(double scale) const {
+  DTSE_CHECK(scale > 0.0, "scale must be positive");
+  DTSE_CHECK(current_body_ < 0, "finish the current iteration before building");
+
+  ir::Application app(app_name_);
+  std::vector<ir::BasicGroupId> group_of(arrays_.size());
+  for (std::size_t i = 0; i < arrays_.size(); ++i) {
+    ir::BasicGroup group;
+    group.name = arrays_[i].name;
+    group.words = arrays_[i].words;
+    group.bitwidth = arrays_[i].bitwidth;
+    group.forced_location = arrays_[i].forced_location;
+    group_of[i] = app.add_group(std::move(group));
+  }
+
+  for (const auto& body : bodies_) {
+    if (body.iterations == 0) continue;
+    ir::LoopBody ir_body;
+    ir_body.name = body.name;
+    ir_body.iterations = static_cast<std::uint64_t>(std::llround(
+        static_cast<double>(body.iterations) * scale));
+    if (ir_body.iterations == 0) ir_body.iterations = 1;
+
+    std::map<std::pair<ArrayId, ir::AccessKind>, std::size_t> access_index;
+    const double iters = static_cast<double>(body.iterations);
+    for (const auto& [key, agg] : body.accesses) {
+      ir::Access access;
+      access.group = group_of[key.first];
+      access.kind = key.second;
+      access.per_iteration = static_cast<double>(agg.count) / iters;
+      access.stride1_fraction =
+          agg.count > 0 ? static_cast<double>(agg.stride1) / static_cast<double>(agg.count)
+                        : 0.0;
+      access.dense_fraction =
+          agg.count > 0 ? static_cast<double>(agg.dense) / static_cast<double>(agg.count)
+                        : 0.0;
+      access.dense_stride =
+          agg.dense > 0
+              ? static_cast<double>(agg.dense_delta) / static_cast<double>(agg.dense)
+              : 1.0;
+      access_index[key] = ir_body.accesses.size();
+      ir_body.accesses.push_back(access);
+    }
+
+    for (const auto& [key, pairs] : body.co_access) {
+      const auto& [kind, lo, hi] = key;
+      const auto a = access_index.find({lo, kind});
+      const auto b = access_index.find({hi, kind});
+      DTSE_ASSERT(a != access_index.end() && b != access_index.end(),
+                  "co-access over unknown accesses");
+      ir_body.co_accesses.push_back(
+          {a->second, b->second, static_cast<double>(pairs) / iters});
+    }
+
+    for (const auto& [from, to] : body.deps) {
+      const auto a = access_index.find(from);
+      const auto b = access_index.find(to);
+      if (a == access_index.end() || b == access_index.end()) continue;
+      ir_body.deps.emplace_back(a->second, b->second);
+    }
+    app.add_body(std::move(ir_body));
+  }
+
+  for (std::size_t i = 0; i < arrays_.size(); ++i) {
+    if (arrays_[i].reuse.empty()) continue;
+    ir::ReuseProfile profile;
+    for (const auto& sim : arrays_[i].reuse) {
+      profile.windows.push_back(
+          {sim.declared_capacity, static_cast<double>(sim.misses) * scale});
+    }
+    app.set_reuse_profile(group_of[i], std::move(profile));
+  }
+
+  app.validate();
+  return app;
+}
+
+}  // namespace dtse::trace

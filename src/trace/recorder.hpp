@@ -1,0 +1,149 @@
+// Access profiling infrastructure — Section 4.1.
+//
+// "Because this kind of profiling is so often necessary to do any
+// memory-related optimizations, we have written software to automatically
+// instrument the application to gather the access counts."
+//
+// `Recorder` is that software.  The application under study declares its
+// arrays, wraps loop bodies in `Iteration` scopes and performs all array
+// accesses through `InstrumentedArray` (see instrumented_array.hpp).  The
+// recorder aggregates, per loop body:
+//   * per (array, read/write): access counts and stride-1 statistics,
+//   * same-index co-access pairs between arrays (merging candidates),
+//   * a dependency skeleton (reads gate subsequent writes; accesses to the
+//     same array are ordered), giving the MACP analysis its DAG,
+// and per array an LRU working-set simulation at configurable capacities
+// (the data-reuse input of the memory hierarchy decision).
+//
+// `build()` converts everything into an ir::Application.  Profiling runs on
+// a scaled-down input can be extrapolated with the `scale` parameter, which
+// multiplies iteration counts and reuse misses but keeps per-iteration
+// intensities — exactly how a designer profiles a 512x512 frame and reasons
+// about the 1024x1024 product.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/application.hpp"
+
+namespace dtse::trace {
+
+using ArrayId = std::uint32_t;
+
+class Recorder {
+ public:
+  explicit Recorder(std::string application_name);
+
+  // --- declaration ---------------------------------------------------------
+  /// Declares an array.  `words`/`bitwidth` describe the *product* geometry
+  /// (declare the 1M-word image even when profiling a smaller frame).
+  ArrayId register_array(std::string name, std::uint64_t words, int bitwidth,
+                         std::optional<memlib::Location> forced_location = std::nullopt);
+
+  /// One reuse-simulation window.  `sim_words` is the capacity simulated on
+  /// the profiled frame; `declared_words` is the capacity it corresponds to
+  /// at the declared design geometry (row-buffer-like windows must shrink
+  /// with the frame width to stay meaningful — 5 rows are 5 rows).
+  struct WindowSpec {
+    std::uint64_t sim_words = 0;
+    std::uint64_t declared_words = 0;
+  };
+
+  /// Enables LRU reuse simulation for the array at the given capacities.
+  void set_reuse_windows(ArrayId array, std::vector<WindowSpec> windows);
+  void set_reuse_windows(ArrayId array, const std::vector<std::uint64_t>& window_words);
+
+  // --- recording (called by InstrumentedArray / Iteration) -----------------
+  void begin_iteration(std::string_view body_name);
+  void end_iteration();
+  void record(ArrayId array, std::uint64_t index, ir::AccessKind kind);
+  [[nodiscard]] bool in_iteration() const { return current_body_ >= 0; }
+
+  // --- extraction -----------------------------------------------------------
+  /// Builds the pruned application model.  `scale` extrapolates the profiled
+  /// frame to a larger one (iteration counts and reuse misses multiply).
+  [[nodiscard]] ir::Application build(double scale = 1.0) const;
+
+  [[nodiscard]] std::uint64_t total_events() const { return total_events_; }
+
+ private:
+  struct LruSim {
+    std::uint64_t capacity = 0;
+    std::uint64_t declared_capacity = 0;
+    std::uint64_t misses = 0;
+    std::list<std::uint64_t> order;  // front = most recent
+    std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> where;
+
+    void touch(std::uint64_t index);
+  };
+
+  struct ArrayInfo {
+    std::string name;
+    std::uint64_t words = 0;
+    int bitwidth = 0;
+    std::optional<memlib::Location> forced_location;
+    std::vector<LruSim> reuse;
+  };
+
+  /// Aggregated per-(array, kind) statistics within one loop body.
+  struct AccessAgg {
+    std::uint64_t count = 0;
+    std::uint64_t stride1 = 0;      ///< successor at distance exactly 1
+    std::uint64_t dense = 0;        ///< successor at distance 1..3
+    std::uint64_t dense_delta = 0;  ///< sum of those distances
+    std::uint64_t last_index = ~std::uint64_t{0};
+    bool has_last = false;
+  };
+
+  struct PendingEvent {
+    ArrayId array;
+    std::uint64_t index;
+    ir::AccessKind kind;
+  };
+
+  struct BodyInfo {
+    std::string name;
+    std::uint64_t iterations = 0;
+    std::map<std::pair<ArrayId, ir::AccessKind>, AccessAgg> accesses;
+    /// (kind, array_a, array_b) -> same-index pair count, array_a < array_b.
+    std::map<std::tuple<ir::AccessKind, ArrayId, ArrayId>, std::uint64_t> co_access;
+    /// Dependency skeleton over (array, kind) keys, from first iteration.
+    std::vector<std::pair<std::pair<ArrayId, ir::AccessKind>,
+                          std::pair<ArrayId, ir::AccessKind>>> deps;
+    bool deps_captured = false;
+  };
+
+  void aggregate_iteration();
+
+  std::string app_name_;
+  std::vector<ArrayInfo> arrays_;
+  std::vector<BodyInfo> bodies_;
+  std::map<std::string, std::size_t, std::less<>> body_index_;
+  long current_body_ = -1;
+  std::vector<PendingEvent> pending_;
+  std::uint64_t total_events_ = 0;
+};
+
+/// RAII marker for one iteration of a named loop body.
+class Iteration {
+ public:
+  Iteration(Recorder& recorder, std::string_view body_name) : recorder_(recorder) {
+    recorder_.begin_iteration(body_name);
+  }
+  ~Iteration() { recorder_.end_iteration(); }
+
+  Iteration(const Iteration&) = delete;
+  Iteration& operator=(const Iteration&) = delete;
+
+ private:
+  Recorder& recorder_;
+};
+
+}  // namespace dtse::trace

@@ -1,0 +1,159 @@
+// Tests for the Explorer feedback driver and the BTPC case-study wiring.
+// Uses a small profiled frame so the whole methodology runs in seconds.
+#include <gtest/gtest.h>
+
+#include "core/btpc_case_study.hpp"
+#include "core/explorer.hpp"
+#include "structuring/structuring.hpp"
+#include "support/check.hpp"
+
+namespace dtse::core {
+namespace {
+
+/// Shared small profile (profiling dominates test time).
+const ir::Application& small_profile() {
+  static const ir::Application app = [] {
+    BtpcCaseOptions options;
+    options.profile_width = 96;
+    options.profile_height = 96;
+    return profile_btpc_demonstrator(options);
+  }();
+  return app;
+}
+
+Explorer make_explorer() { return Explorer{memlib::MemoryLibrary{}}; }
+
+TEST(Explorer, EvaluateProducesFeasibleFeedback) {
+  const auto explorer = make_explorer();
+  const auto eval = explorer.evaluate(small_profile());
+  EXPECT_TRUE(eval.feasible);
+  EXPECT_GT(eval.summary.onchip_area_mm2, 0.0);
+  EXPECT_GT(eval.summary.onchip_power_mw, 0.0);
+  EXPECT_GT(eval.summary.offchip_power_mw, 0.0);
+  EXPECT_GT(eval.spare_cycles, 0u);
+  EXPECT_FALSE(eval.allocation.onchip.empty());
+  EXPECT_FALSE(eval.allocation.offchip.empty());
+}
+
+TEST(Explorer, EvaluateIsDeterministic) {
+  const auto explorer = make_explorer();
+  const auto a = explorer.evaluate(small_profile());
+  const auto b = explorer.evaluate(small_profile());
+  EXPECT_DOUBLE_EQ(a.summary.onchip_area_mm2, b.summary.onchip_area_mm2);
+  EXPECT_DOUBLE_EQ(a.summary.onchip_power_mw, b.summary.onchip_power_mw);
+  EXPECT_DOUBLE_EQ(a.summary.offchip_power_mw, b.summary.offchip_power_mw);
+}
+
+TEST(Explorer, StorageBudgetCannotExceedRealTime) {
+  const auto explorer = make_explorer();
+  ExplorerOptions options;
+  options.storage_budget_cycles = options.real_time_budget_cycles + 1;
+  EXPECT_THROW((void)explorer.evaluate(small_profile(), options),
+               support::ContractError);
+}
+
+TEST(Explorer, MacpIsBelowRealTimeBudget) {
+  const auto explorer = make_explorer();
+  const auto report = explorer.analyze_critical_path(small_profile());
+  EXPECT_GT(report.macp_cycles, 0.0);
+  // The paper: "For the BTPC application, there is no such problem."
+  EXPECT_TRUE(report.feasible_within(20'000'000.0));
+  EXPECT_GT(report.parallelism_headroom(), 1.0);
+}
+
+TEST(Explorer, BudgetSweepSparesGrowAndCostsDontImprove) {
+  const auto explorer = make_explorer();
+  const auto best = btpc_best_variant(small_profile());
+  const std::vector<std::uint64_t> budgets = {20'000'000, 16'000'000, 12'000'000};
+  const auto points = explorer.explore_cycle_budgets(best, budgets);
+  ASSERT_EQ(points.size(), 3u);
+  memlib::CostWeights weights;
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GE(points[i].spare_cycles, points[i - 1].spare_cycles);
+    EXPECT_GE(weights.scalarize(points[i].eval.summary),
+              weights.scalarize(points[i - 1].eval.summary) - 1e-6)
+        << "tightening the budget must not make the organization cheaper";
+  }
+}
+
+TEST(Explorer, AllocationCountSweep) {
+  const auto explorer = make_explorer();
+  const auto best = btpc_best_variant(small_profile());
+  const auto variants = explorer.explore_allocation_counts(best, {5, 8, 14});
+  ASSERT_EQ(variants.size(), 3u);
+  for (const auto& v : variants) EXPECT_TRUE(v.eval.feasible) << v.label;
+  // Sub-linear energy: more memories -> less on-chip power (paper Table 4).
+  EXPECT_GT(variants.front().eval.summary.onchip_power_mw,
+            variants.back().eval.summary.onchip_power_mw);
+}
+
+TEST(CaseStudy, ProfileContainsThePaperArrays) {
+  const auto& app = small_profile();
+  for (const auto* name :
+       {"image", "pyr", "ridge", "huff_weight", "huff_parent", "huff_left",
+        "huff_right", "huff_leaf", "code_stack", "esc_fifo", "coder_select",
+        "pred_ctx", "quant_tab", "dequant_tab", "level_offsets", "stats_hist",
+        "out_buf", "bit_accum", "base_buf"}) {
+    EXPECT_TRUE(app.find_group(name).has_value()) << "missing array " << name;
+  }
+}
+
+TEST(CaseStudy, StructuringVariantsAreWellFormed) {
+  const auto variants = btpc_structuring_variants(small_profile());
+  ASSERT_EQ(variants.size(), 3u);
+  EXPECT_EQ(variants[0].first, "No structuring");
+  EXPECT_NE(variants[1].first.find("compacted"), std::string::npos);
+  EXPECT_NE(variants[2].first.find("merged"), std::string::npos);
+  for (const auto& [label, app] : variants) {
+    EXPECT_NO_THROW(app.validate()) << label;
+  }
+  // The merged variant replaces ridge+pyr with one record array.
+  const auto& merged = variants[2].second;
+  EXPECT_TRUE(merged.find_group("pyr_ridge").has_value());
+  EXPECT_FALSE(merged.find_group("pyr").has_value());
+  EXPECT_EQ(merged.group(*merged.find_group("pyr_ridge")).bitwidth, 10);
+}
+
+TEST(CaseStudy, RidgeAndPyrAreStronglyCoAccessed) {
+  const auto& app = small_profile();
+  const auto affinity = structuring::co_access_affinity(app, *app.find_group("ridge"),
+                                                        *app.find_group("pyr"));
+  // "the ridge array is almost always read and written together with ...
+  // pyr" (Section 4.3).
+  EXPECT_GT(affinity, 0.9);
+}
+
+TEST(CaseStudy, HierarchyVariantsMatchFigure3) {
+  const auto variants = btpc_structuring_variants(small_profile());
+  const auto hierarchy = btpc_hierarchy_variants(variants[2].second);
+  ASSERT_EQ(hierarchy.size(), 4u);
+  EXPECT_EQ(hierarchy[0].first, "no hierarchy");
+  // Layer-0 variant has the 12-register ylocal equivalent.
+  const auto& l0 = hierarchy[2].second;
+  ASSERT_TRUE(l0.find_group("image_l0").has_value());
+  EXPECT_EQ(l0.group(*l0.find_group("image_l0")).words, 12u);
+  // Two-layer variant has both.
+  const auto& both = hierarchy[3].second;
+  EXPECT_TRUE(both.find_group("image_l0").has_value());
+  EXPECT_TRUE(both.find_group("image_l1").has_value());
+  EXPECT_EQ(both.group(*both.find_group("image_l1")).words, 5u * 1024u);
+}
+
+TEST(CaseStudy, BestVariantEvaluatesFeasible) {
+  const auto best = btpc_best_variant(small_profile());
+  EXPECT_NO_THROW(best.validate());
+  const auto explorer = make_explorer();
+  const auto eval = explorer.evaluate(best);
+  EXPECT_TRUE(eval.feasible);
+}
+
+TEST(Evaluation, ToStringIsInformative) {
+  const auto explorer = make_explorer();
+  const auto eval = explorer.evaluate(small_profile());
+  const auto text = eval.to_string();
+  EXPECT_NE(text.find("on-chip area"), std::string::npos);
+  EXPECT_NE(text.find("spare cycles"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dtse::core

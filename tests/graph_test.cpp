@@ -1,0 +1,209 @@
+// Tests for digraph utilities, the conflict graph and MACP analysis.
+#include <gtest/gtest.h>
+
+#include "graph/conflict_graph.hpp"
+#include "graph/digraph.hpp"
+#include "graph/macp.hpp"
+#include "support/check.hpp"
+
+namespace dtse::graph {
+namespace {
+
+TEST(Digraph, TopologicalOrderOfChain) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const auto order = g.topological_order();
+  ASSERT_TRUE(order.has_value());
+  EXPECT_EQ(*order, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(Digraph, CycleHasNoTopologicalOrder) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  EXPECT_FALSE(g.topological_order().has_value());
+  EXPECT_FALSE(g.longest_path({1.0, 1.0}).has_value());
+}
+
+TEST(Digraph, LongestPathWeighted) {
+  // Diamond: 0 -> {1, 2} -> 3; node 2 is heavy.
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  const auto path = g.longest_path({1.0, 1.0, 5.0, 2.0});
+  ASSERT_TRUE(path.has_value());
+  EXPECT_DOUBLE_EQ(*path, 1.0 + 5.0 + 2.0);
+}
+
+TEST(Digraph, EmptyGraphHasZeroPath) {
+  Digraph g(0);
+  const auto path = g.longest_path({});
+  ASSERT_TRUE(path.has_value());
+  EXPECT_DOUBLE_EQ(*path, 0.0);
+}
+
+TEST(Digraph, IsolatedNodesPathIsMaxWeight) {
+  Digraph g(3);
+  const auto path = g.longest_path({1.0, 7.0, 2.0});
+  ASSERT_TRUE(path.has_value());
+  EXPECT_DOUBLE_EQ(*path, 7.0);
+}
+
+TEST(Digraph, EarliestStartRespectsDependencies) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const auto start = g.earliest_start({2.0, 3.0, 1.0});
+  ASSERT_TRUE(start.has_value());
+  EXPECT_DOUBLE_EQ((*start)[0], 0.0);
+  EXPECT_DOUBLE_EQ((*start)[1], 2.0);
+  EXPECT_DOUBLE_EQ((*start)[2], 5.0);
+}
+
+TEST(Digraph, EdgeBoundsChecked) {
+  Digraph g(2);
+  EXPECT_THROW(g.add_edge(0, 2), support::ContractError);
+  EXPECT_THROW((void)g.successors(5), support::ContractError);
+}
+
+TEST(ConflictGraph, AccumulatesWeights) {
+  ConflictGraph g;
+  const ir::BasicGroupId a(0), b(1);
+  g.add_conflict(a, b, 2.0);
+  g.add_conflict(b, a, 3.0);  // order-insensitive
+  EXPECT_TRUE(g.conflicts(a, b));
+  EXPECT_DOUBLE_EQ(g.conflict_weight(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(g.total_weight(), 5.0);
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(ConflictGraph, SelfConflicts) {
+  ConflictGraph g;
+  const ir::BasicGroupId a(0);
+  EXPECT_FALSE(g.has_self_conflict(a));
+  g.add_conflict(a, a, 1.5);
+  EXPECT_TRUE(g.has_self_conflict(a));
+  EXPECT_DOUBLE_EQ(g.self_conflict_weight(a), 1.5);
+}
+
+TEST(ConflictGraph, MergeCombines) {
+  ConflictGraph g1, g2;
+  const ir::BasicGroupId a(0), b(1), c(2);
+  g1.add_conflict(a, b, 1.0);
+  g2.add_conflict(a, b, 2.0);
+  g2.add_conflict(b, c, 4.0);
+  g1.merge(g2);
+  EXPECT_DOUBLE_EQ(g1.conflict_weight(a, b), 3.0);
+  EXPECT_DOUBLE_EQ(g1.conflict_weight(b, c), 4.0);
+  EXPECT_EQ(g1.edges().size(), 2u);
+}
+
+TEST(ConflictGraph, CliqueLowerBound) {
+  ConflictGraph g;
+  const ir::BasicGroupId a(0), b(1), c(2), d(3);
+  EXPECT_EQ(g.clique_lower_bound(), 0);
+  g.add_conflict(a, b);
+  EXPECT_EQ(g.clique_lower_bound(), 2);
+  g.add_conflict(b, c);
+  g.add_conflict(a, c);
+  EXPECT_EQ(g.clique_lower_bound(), 3);
+  g.add_conflict(c, d);  // pendant edge does not grow the clique
+  EXPECT_EQ(g.clique_lower_bound(), 3);
+}
+
+TEST(ConflictGraph, ZeroWeightEdgesDoNotCount) {
+  ConflictGraph g;
+  const ir::BasicGroupId a(0), b(1);
+  g.add_conflict(a, b, 0.0);
+  EXPECT_FALSE(g.has_self_conflict(a));
+  EXPECT_EQ(g.clique_lower_bound(), 0);
+}
+
+TEST(ConflictGraph, RejectsNegativeWeightAndInvalidIds) {
+  ConflictGraph g;
+  EXPECT_THROW(g.add_conflict(ir::BasicGroupId(0), ir::BasicGroupId(1), -1.0),
+               support::ContractError);
+  EXPECT_THROW(g.add_conflict(ir::BasicGroupId(), ir::BasicGroupId(1), 1.0),
+               support::ContractError);
+}
+
+// --- MACP ------------------------------------------------------------------
+
+ir::Application chain_app(std::uint64_t iterations) {
+  ir::Application app("macp");
+  const auto small = app.add_group({"small", 64, 8});
+  const auto big = app.add_group({"big", 1 << 20, 8});
+  ir::LoopBody body;
+  body.name = "loop";
+  body.iterations = iterations;
+  // chain: read big -> read small -> write small; plus a free-floating read.
+  body.accesses.push_back({big, ir::AccessKind::kRead, 1.0});
+  body.accesses.push_back({small, ir::AccessKind::kRead, 1.0});
+  body.accesses.push_back({small, ir::AccessKind::kWrite, 1.0});
+  body.accesses.push_back({small, ir::AccessKind::kRead, 1.0});
+  body.deps = {{0, 1}, {1, 2}};
+  app.add_body(body);
+  return app;
+}
+
+TEST(Macp, CriticalPathUsesLatencies) {
+  const auto app = chain_app(100);
+  const auto report = analyze_macp(app);
+  ASSERT_EQ(report.bodies.size(), 1u);
+  // big is off-chip (2 cycles), small on-chip (1): chain = 2 + 1 + 1 = 4.
+  EXPECT_DOUBLE_EQ(report.bodies[0].path_cycles, 4.0);
+  EXPECT_DOUBLE_EQ(report.macp_cycles, 400.0);
+  // serial: 2 + 1 + 1 + 1 = 5 per iteration.
+  EXPECT_DOUBLE_EQ(report.serial_cycles, 500.0);
+  EXPECT_GT(report.parallelism_headroom(), 1.0);
+}
+
+TEST(Macp, FeasibilityCheck) {
+  const auto app = chain_app(100);
+  const auto report = analyze_macp(app);
+  EXPECT_TRUE(report.feasible_within(400.0));
+  EXPECT_FALSE(report.feasible_within(399.0));
+}
+
+TEST(Macp, BottleneckIdentified) {
+  auto app = chain_app(10);
+  ir::LoopBody heavy;
+  heavy.name = "heavy";
+  heavy.iterations = 100000;
+  heavy.accesses.push_back({ir::BasicGroupId(0), ir::AccessKind::kRead, 1.0});
+  app.add_body(heavy);
+  const auto report = analyze_macp(app);
+  EXPECT_EQ(report.bottleneck, ir::LoopBodyId(1));
+  EXPECT_NE(report.to_string().find("heavy"), std::string::npos);
+}
+
+TEST(Macp, ConditionalAccessesWeightedByProbability) {
+  ir::Application app("cond");
+  const auto g = app.add_group({"g", 64, 8});
+  ir::LoopBody body;
+  body.name = "loop";
+  body.iterations = 10;
+  body.accesses.push_back({g, ir::AccessKind::kRead, 0.25});
+  app.add_body(body);
+  const auto report = analyze_macp(app);
+  EXPECT_DOUBLE_EQ(report.bodies[0].path_cycles, 0.25);
+}
+
+TEST(LatencyModel, ForcedLocationsOverrideThreshold) {
+  LatencyModel model;
+  ir::BasicGroup big{"big", 1 << 20, 8};
+  EXPECT_TRUE(model.presumed_offchip(big));
+  big.forced_location = memlib::Location::kOnChip;
+  EXPECT_FALSE(model.presumed_offchip(big));
+  ir::BasicGroup small{"small", 16, 8};
+  EXPECT_FALSE(model.presumed_offchip(small));
+  small.forced_location = memlib::Location::kOffChip;
+  EXPECT_TRUE(model.presumed_offchip(small));
+  EXPECT_DOUBLE_EQ(model.latency(small), model.offchip_cycles);
+}
+
+}  // namespace
+}  // namespace dtse::graph

@@ -1,0 +1,169 @@
+// Tests for the memory hierarchy decision (Section 4.4 / Figure 3).
+#include <gtest/gtest.h>
+
+#include "hierarchy/hierarchy.hpp"
+#include "support/check.hpp"
+
+namespace dtse::hierarchy {
+namespace {
+
+/// App with one heavily read big array and a known reuse profile.
+struct Fixture {
+  ir::Application app{"fix"};
+  ir::BasicGroupId image;
+
+  explicit Fixture(double reads_per_iter = 5.0) {
+    image = app.add_group({"image", 1 << 20, 8});
+    ir::LoopBody body;
+    body.name = "compute";
+    body.iterations = 1000;
+    body.accesses.push_back({image, ir::AccessKind::kRead, reads_per_iter});
+    app.add_body(body);
+    ir::ReuseProfile profile;
+    profile.windows = {{12, 2000.0}, {1024, 1000.0}, {5120, 500.0}};
+    app.set_reuse_profile(image, profile);
+  }
+};
+
+TEST(ReuseMisses, ExactPointsAndInterpolation) {
+  Fixture fix;
+  EXPECT_DOUBLE_EQ(reuse_misses_at(fix.app, fix.image, 12), 2000.0);
+  EXPECT_DOUBLE_EQ(reuse_misses_at(fix.app, fix.image, 5120), 500.0);
+  // Linear interpolation between 1024 and 5120.
+  const double mid = reuse_misses_at(fix.app, fix.image, (1024 + 5120) / 2);
+  EXPECT_NEAR(mid, 750.0, 1e-6);
+  // Clamping outside the profiled range.
+  EXPECT_DOUBLE_EQ(reuse_misses_at(fix.app, fix.image, 1), 2000.0);
+  EXPECT_DOUBLE_EQ(reuse_misses_at(fix.app, fix.image, 1 << 19), 500.0);
+}
+
+TEST(ReuseMisses, MissingProfileThrows) {
+  ir::Application app("none");
+  const auto g = app.add_group({"g", 100, 8});
+  EXPECT_THROW((void)reuse_misses_at(app, g, 10), support::ContractError);
+}
+
+TEST(ApplyHierarchy, EmptyLayerListIsIdentity) {
+  Fixture fix;
+  const auto out = apply_hierarchy(fix.app, fix.image, {});
+  EXPECT_EQ(out.group_count(), fix.app.group_count());
+}
+
+TEST(ApplyHierarchy, SingleLayerRetargetsReads) {
+  Fixture fix;
+  const auto out = apply_hierarchy(fix.app, fix.image, {{"l0", 12, 1.0}});
+  ASSERT_TRUE(out.find_group("l0").has_value());
+  const auto l0 = *out.find_group("l0");
+
+  // Datapath reads (5 per iteration x 1000) now hit l0.
+  EXPECT_NEAR(out.totals(l0).reads, 5000.0, 1e-6);
+  // l0 is filled from image: misses(12) = 2000 writes to l0, reads of image.
+  EXPECT_NEAR(out.totals(l0).writes, 2000.0, 1e-6);
+  EXPECT_NEAR(out.totals(fix.image).reads, 2000.0, 1e-6);
+  EXPECT_NO_THROW(out.validate());
+}
+
+TEST(ApplyHierarchy, LayerGroupsAreForcedOnChip) {
+  Fixture fix;
+  const auto out = apply_hierarchy(fix.app, fix.image, {{"l0", 12, 1.0}});
+  const auto& layer = out.group(*out.find_group("l0"));
+  EXPECT_EQ(layer.forced_location, memlib::Location::kOnChip);
+  EXPECT_EQ(layer.hierarchy_layer, 0);
+  EXPECT_EQ(layer.words, 12u);
+  EXPECT_EQ(layer.bitwidth, 8);
+}
+
+TEST(ApplyHierarchy, TwoLayerChainTraffic) {
+  Fixture fix;
+  const auto out =
+      apply_hierarchy(fix.app, fix.image, {{"l0", 12, 1.0}, {"l1", 5120, 1.0}});
+  const auto l0 = *out.find_group("l0");
+  const auto l1 = *out.find_group("l1");
+  // l0 fills from l1 (misses at 12 = 2000), l1 fills from image (misses at
+  // 5120 = 500).
+  EXPECT_NEAR(out.totals(l0).writes, 2000.0, 1e-6);
+  EXPECT_NEAR(out.totals(l1).reads, 2000.0, 1e-6);
+  EXPECT_NEAR(out.totals(l1).writes, 500.0, 1e-6);
+  EXPECT_NEAR(out.totals(fix.image).reads, 500.0, 1e-6);
+}
+
+TEST(ApplyHierarchy, CopyOverheadInflatesTraffic) {
+  Fixture fix;
+  const auto out = apply_hierarchy(fix.app, fix.image, {{"l1", 5120, 1.6}});
+  EXPECT_NEAR(out.totals(fix.image).reads, 500.0 * 1.6, 1e-6);
+}
+
+TEST(ApplyHierarchy, WritesStayOnBackingStore) {
+  Fixture fix;
+  // Add a writer body.
+  ir::LoopBody writer;
+  writer.name = "writer";
+  writer.iterations = 10;
+  writer.accesses.push_back({fix.image, ir::AccessKind::kWrite, 1.0});
+  fix.app.add_body(writer);
+  const auto out = apply_hierarchy(fix.app, fix.image, {{"l0", 12, 1.0}});
+  EXPECT_NEAR(out.totals(fix.image).writes, 10.0, 1e-6);
+}
+
+TEST(ApplyHierarchy, RejectsBadLayerLists) {
+  Fixture fix;
+  // Outer smaller than inner.
+  EXPECT_THROW(
+      (void)apply_hierarchy(fix.app, fix.image, {{"l0", 512, 1.0}, {"l1", 12, 1.0}}),
+      support::ContractError);
+  // Layer bigger than the array itself.
+  EXPECT_THROW((void)apply_hierarchy(fix.app, fix.image, {{"l0", 2 << 20, 1.0}}),
+               support::ContractError);
+  // Overhead below 1.
+  EXPECT_THROW((void)apply_hierarchy(fix.app, fix.image, {{"l0", 12, 0.5}}),
+               support::ContractError);
+}
+
+TEST(EnumerateOptions, FourCanonicalVariants) {
+  Fixture fix;
+  const auto options = enumerate_options(fix.app, fix.image, 12, 5120);
+  ASSERT_EQ(options.size(), 4u);
+  EXPECT_TRUE(options[0].layers.empty());
+  ASSERT_EQ(options[1].layers.size(), 1u);
+  EXPECT_EQ(options[1].layers[0].words, 5120u);
+  ASSERT_EQ(options[2].layers.size(), 1u);
+  EXPECT_EQ(options[2].layers[0].words, 12u);
+  ASSERT_EQ(options[3].layers.size(), 2u);
+  EXPECT_LT(options[3].layers[0].words, options[3].layers[1].words);
+  EXPECT_NE(options[1].label.find("layer 1"), std::string::npos);
+  EXPECT_NE(options[2].label.find("layer 0"), std::string::npos);
+}
+
+TEST(EnumerateOptions, RejectsInvertedSizes) {
+  Fixture fix;
+  EXPECT_THROW((void)enumerate_options(fix.app, fix.image, 5120, 12),
+               support::ContractError);
+}
+
+TEST(RankCandidates, OrdersByAchievableGain) {
+  Fixture fix;
+  // A second group with reads but no reuse at all.
+  const auto flat = fix.app.add_group({"flat", 1 << 20, 8});
+  ir::LoopBody body;
+  body.name = "flat_reader";
+  body.iterations = 1000;
+  body.accesses.push_back({flat, ir::AccessKind::kRead, 5.0});
+  fix.app.add_body(body);
+  ir::ReuseProfile no_reuse;
+  no_reuse.windows = {{12, 5000.0}, {5120, 5000.0}};  // misses == reads
+  fix.app.set_reuse_profile(flat, no_reuse);
+
+  const auto candidates = rank_reuse_candidates(fix.app);
+  ASSERT_EQ(candidates.size(), 2u);
+  EXPECT_EQ(candidates[0].group, fix.image);
+  EXPECT_LT(candidates[0].best_miss_ratio, candidates[1].best_miss_ratio);
+}
+
+TEST(RankCandidates, SkipsGroupsWithoutProfile) {
+  ir::Application app("skip");
+  app.add_group({"g", 100, 8});
+  EXPECT_TRUE(rank_reuse_candidates(app).empty());
+}
+
+}  // namespace
+}  // namespace dtse::hierarchy

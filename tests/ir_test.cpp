@@ -1,0 +1,188 @@
+// Tests for the application IR: construction, integrity checks, editing.
+#include <gtest/gtest.h>
+
+#include "ir/application.hpp"
+#include "support/check.hpp"
+
+namespace dtse::ir {
+namespace {
+
+Application two_group_app() {
+  Application app("demo");
+  app.add_group({"a", 1024, 8, std::nullopt, 2});
+  app.add_group({"b", 256, 16, std::nullopt, 2});
+  return app;
+}
+
+TEST(Application, AddAndFindGroups) {
+  auto app = two_group_app();
+  EXPECT_EQ(app.group_count(), 2u);
+  ASSERT_TRUE(app.find_group("a").has_value());
+  ASSERT_TRUE(app.find_group("b").has_value());
+  EXPECT_FALSE(app.find_group("c").has_value());
+  EXPECT_EQ(app.group(*app.find_group("b")).bitwidth, 16);
+}
+
+TEST(Application, RejectsMalformedGroups) {
+  Application app;
+  EXPECT_THROW(app.add_group({"", 10, 8}), support::ContractError);
+  EXPECT_THROW(app.add_group({"x", 0, 8}), support::ContractError);
+  EXPECT_THROW(app.add_group({"x", 10, 0}), support::ContractError);
+  app.add_group({"x", 10, 8});
+  EXPECT_THROW(app.add_group({"x", 10, 8}), support::ContractError);  // duplicate
+}
+
+TEST(Application, BodyValidation) {
+  auto app = two_group_app();
+  LoopBody body;
+  body.name = "loop";
+  body.iterations = 100;
+  body.accesses.push_back({BasicGroupId(0), AccessKind::kRead, 2.0, 0.0, 0.0, 1.0});
+  EXPECT_NO_THROW(app.add_body(body));
+
+  LoopBody dangling;
+  dangling.name = "bad";
+  dangling.iterations = 1;
+  dangling.accesses.push_back({BasicGroupId(9), AccessKind::kRead, 1.0, 0.0, 0.0, 1.0});
+  EXPECT_THROW(app.add_body(dangling), support::ContractError);
+
+  LoopBody zero_iter;
+  zero_iter.name = "zero";
+  zero_iter.iterations = 0;
+  EXPECT_THROW(app.add_body(zero_iter), support::ContractError);
+}
+
+TEST(Application, TotalsAggregateOverBodies) {
+  auto app = two_group_app();
+  LoopBody body1;
+  body1.name = "one";
+  body1.iterations = 10;
+  body1.accesses.push_back({BasicGroupId(0), AccessKind::kRead, 2.0});
+  body1.accesses.push_back({BasicGroupId(0), AccessKind::kWrite, 1.0});
+  app.add_body(body1);
+  LoopBody body2;
+  body2.name = "two";
+  body2.iterations = 5;
+  body2.accesses.push_back({BasicGroupId(0), AccessKind::kRead, 4.0});
+  app.add_body(body2);
+
+  const auto totals = app.totals(BasicGroupId(0));
+  EXPECT_DOUBLE_EQ(totals.reads, 2.0 * 10 + 4.0 * 5);
+  EXPECT_DOUBLE_EQ(totals.writes, 1.0 * 10);
+  EXPECT_DOUBLE_EQ(totals.total(), 50.0);
+  EXPECT_DOUBLE_EQ(app.total_accesses_per_frame(), 50.0);
+  EXPECT_DOUBLE_EQ(app.totals(BasicGroupId(1)).total(), 0.0);
+}
+
+TEST(Application, ValidateDetectsCyclicDeps) {
+  auto app = two_group_app();
+  LoopBody body;
+  body.name = "cyclic";
+  body.iterations = 1;
+  body.accesses.push_back({BasicGroupId(0), AccessKind::kRead, 1.0});
+  body.accesses.push_back({BasicGroupId(1), AccessKind::kWrite, 1.0});
+  body.deps = {{0, 1}, {1, 0}};
+  app.add_body(body);
+  EXPECT_THROW(app.validate(), support::ContractError);
+}
+
+TEST(Application, ValidateDetectsBadCoAccess) {
+  auto app = two_group_app();
+  LoopBody body;
+  body.name = "co";
+  body.iterations = 1;
+  body.accesses.push_back({BasicGroupId(0), AccessKind::kRead, 1.0});
+  body.co_accesses.push_back({0, 5, 1.0});
+  app.add_body(body);
+  EXPECT_THROW(app.validate(), support::ContractError);
+}
+
+TEST(Application, ValidatePassesOnWellFormed) {
+  auto app = two_group_app();
+  LoopBody body;
+  body.name = "ok";
+  body.iterations = 3;
+  body.accesses.push_back({BasicGroupId(0), AccessKind::kRead, 1.0});
+  body.accesses.push_back({BasicGroupId(1), AccessKind::kWrite, 1.0});
+  body.deps = {{0, 1}};
+  body.co_accesses = {};
+  app.add_body(body);
+  EXPECT_NO_THROW(app.validate());
+}
+
+TEST(Application, ReuseProfileStorage) {
+  auto app = two_group_app();
+  ReuseProfile profile;
+  profile.windows = {{16, 100.0}, {64, 50.0}};
+  app.set_reuse_profile(BasicGroupId(0), profile);
+  ASSERT_NE(app.reuse_profile(BasicGroupId(0)), nullptr);
+  EXPECT_EQ(app.reuse_profile(BasicGroupId(0))->windows.size(), 2u);
+  EXPECT_EQ(app.reuse_profile(BasicGroupId(1)), nullptr);
+}
+
+TEST(Application, ReuseProfileMustBeSorted) {
+  auto app = two_group_app();
+  ReuseProfile profile;
+  profile.windows = {{64, 50.0}, {16, 100.0}};
+  EXPECT_THROW(app.set_reuse_profile(BasicGroupId(0), profile), support::ContractError);
+}
+
+TEST(Application, EraseGroupRemapsIds) {
+  Application app("erase");
+  const auto a = app.add_group({"a", 10, 8});
+  const auto b = app.add_group({"b", 20, 8});
+  const auto c = app.add_group({"c", 30, 8});
+  LoopBody body;
+  body.name = "loop";
+  body.iterations = 1;
+  body.accesses.push_back({c, AccessKind::kRead, 1.0});
+  app.add_body(body);
+  ReuseProfile profile;
+  profile.windows = {{8, 1.0}};
+  app.set_reuse_profile(c, profile);
+
+  app.erase_group(b);
+  EXPECT_EQ(app.group_count(), 2u);
+  ASSERT_TRUE(app.find_group("c").has_value());
+  const auto new_c = *app.find_group("c");
+  EXPECT_EQ(new_c.index(), 1u);
+  EXPECT_EQ(app.body(LoopBodyId(0)).accesses[0].group, new_c);
+  EXPECT_NE(app.reuse_profile(new_c), nullptr);
+  EXPECT_NO_THROW(app.validate());
+  (void)a;
+}
+
+TEST(Application, EraseReferencedGroupThrows) {
+  Application app("erase");
+  const auto a = app.add_group({"a", 10, 8});
+  LoopBody body;
+  body.name = "loop";
+  body.iterations = 1;
+  body.accesses.push_back({a, AccessKind::kRead, 1.0});
+  app.add_body(body);
+  EXPECT_THROW(app.erase_group(a), support::ContractError);
+}
+
+TEST(Application, ToStringMentionsEverything) {
+  auto app = two_group_app();
+  const auto text = app.to_string();
+  EXPECT_NE(text.find("demo"), std::string::npos);
+  EXPECT_NE(text.find("a"), std::string::npos);
+  EXPECT_NE(text.find("2 basic groups"), std::string::npos);
+}
+
+TEST(LoopBody, AccessesPerFrame) {
+  LoopBody body;
+  body.iterations = 100;
+  body.accesses.push_back({BasicGroupId(0), AccessKind::kRead, 1.5});
+  body.accesses.push_back({BasicGroupId(0), AccessKind::kWrite, 0.5});
+  EXPECT_DOUBLE_EQ(body.accesses_per_frame(), 200.0);
+}
+
+TEST(BasicGroup, BitsComputed) {
+  BasicGroup group{"x", 100, 12};
+  EXPECT_EQ(group.bits(), 1200u);
+}
+
+}  // namespace
+}  // namespace dtse::ir

@@ -1,0 +1,82 @@
+// Tests for the Pareto utilities over exploration variants.
+#include <gtest/gtest.h>
+
+#include "core/pareto.hpp"
+
+namespace dtse::core {
+namespace {
+
+Variant make_variant(std::string label, double area, double onchip, double offchip,
+                     bool feasible = true) {
+  Variant v;
+  v.label = std::move(label);
+  v.eval.summary = {area, onchip, offchip};
+  v.eval.feasible = feasible;
+  return v;
+}
+
+TEST(Pareto, DominationRules) {
+  const memlib::CostSummary a{10, 5, 20};
+  const memlib::CostSummary better_everywhere{9, 4, 19};
+  const memlib::CostSummary better_one_axis{10, 4, 20};
+  const memlib::CostSummary mixed{9, 6, 20};
+  const memlib::CostSummary equal{10, 5, 20};
+  EXPECT_TRUE(dominates(better_everywhere, a));
+  EXPECT_TRUE(dominates(better_one_axis, a));
+  EXPECT_FALSE(dominates(a, better_one_axis));
+  EXPECT_FALSE(dominates(mixed, a));
+  EXPECT_FALSE(dominates(a, mixed));
+  EXPECT_FALSE(dominates(equal, a));
+  EXPECT_FALSE(dominates(a, equal));
+}
+
+TEST(Pareto, FrontExcludesDominatedAndInfeasible) {
+  std::vector<Variant> variants;
+  variants.push_back(make_variant("balanced", 10, 10, 10));
+  variants.push_back(make_variant("dominated", 11, 11, 11));
+  variants.push_back(make_variant("area-optimal", 5, 20, 20));
+  variants.push_back(make_variant("infeasible-great", 1, 1, 1, false));
+  const auto front = pareto_front(variants);
+  EXPECT_EQ(front, (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(Pareto, SinglePointIsItsOwnFront) {
+  std::vector<Variant> variants{make_variant("only", 1, 2, 3)};
+  EXPECT_EQ(pareto_front(variants).size(), 1u);
+}
+
+TEST(Pareto, EmptyAndAllInfeasible) {
+  EXPECT_TRUE(pareto_front({}).empty());
+  std::vector<Variant> variants{make_variant("a", 1, 1, 1, false)};
+  EXPECT_TRUE(pareto_front(variants).empty());
+}
+
+TEST(Pareto, ReportMarksWinnerAndFront) {
+  std::vector<Variant> variants;
+  variants.push_back(make_variant("cheap-power", 20, 2, 2));
+  variants.push_back(make_variant("cheap-area", 5, 10, 10));
+  variants.push_back(make_variant("loser", 25, 12, 12));
+  variants.push_back(make_variant("broken", 1, 1, 1, false));
+  const auto report = pareto_report(variants);
+  EXPECT_NE(report.find("pareto, winner"), std::string::npos);
+  EXPECT_NE(report.find("infeasible"), std::string::npos);
+  EXPECT_NE(report.find("cheap-area"), std::string::npos);
+  // The dominated variant gets no badge.
+  EXPECT_EQ(report.find("loser"), report.rfind("loser"));
+}
+
+TEST(Pareto, WeightsSteerTheWinner) {
+  std::vector<Variant> variants;
+  variants.push_back(make_variant("area-hog", 100, 1, 1));
+  variants.push_back(make_variant("power-hog", 1, 50, 50));
+  memlib::CostWeights area_first{10.0, 0.1};
+  const auto report_area = pareto_report(variants, area_first);
+  memlib::CostWeights power_first{0.1, 10.0};
+  const auto report_power = pareto_report(variants, power_first);
+  // area-first favours the power hog (tiny area), power-first the area hog.
+  EXPECT_LT(report_area.find("power-hog"), report_area.find("winner"));
+  EXPECT_NE(report_power.find("area-hog"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dtse::core

@@ -1,0 +1,185 @@
+// Tests for basic group compaction and merging (Section 4.3 semantics).
+#include <gtest/gtest.h>
+
+#include "structuring/structuring.hpp"
+#include "support/check.hpp"
+
+namespace dtse::structuring {
+namespace {
+
+/// App with one narrow sequential array and one co-accessed wide one.
+struct Fixture {
+  ir::Application app{"fix"};
+  ir::BasicGroupId narrow;
+  ir::BasicGroupId wide;
+
+  Fixture(double dense_fraction, double dense_stride, double co_pairs) {
+    narrow = app.add_group({"narrow", 1024, 2});
+    wide = app.add_group({"wide", 1024, 8});
+    ir::LoopBody body;
+    body.name = "loop";
+    body.iterations = 100;
+    // 0: narrow read, 1: narrow write, 2: wide read, 3: wide write
+    body.accesses.push_back(
+        {narrow, ir::AccessKind::kRead, 1.0, dense_stride == 1.0 ? dense_fraction : 0.0,
+         dense_fraction, dense_stride});
+    body.accesses.push_back(
+        {narrow, ir::AccessKind::kWrite, 1.0, 0.0, dense_fraction, dense_stride});
+    body.accesses.push_back({wide, ir::AccessKind::kRead, 1.0});
+    body.accesses.push_back({wide, ir::AccessKind::kWrite, 1.0});
+    body.co_accesses.push_back({0, 2, co_pairs});  // narrow+wide reads together
+    body.co_accesses.push_back({1, 3, co_pairs});  // and written together
+    app.add_body(body);
+  }
+
+  [[nodiscard]] const ir::LoopBody& body(const ir::Application& a) const {
+    return a.body(ir::LoopBodyId(0));
+  }
+};
+
+TEST(Compaction, GeometryChanges) {
+  Fixture fix(1.0, 1.0, 0.0);
+  const auto out = apply_compaction(fix.app, fix.narrow, 4);
+  const auto& group = out.group(fix.narrow);
+  EXPECT_EQ(group.words, 256u);
+  EXPECT_EQ(group.bitwidth, 8);
+  EXPECT_NE(group.name.find("_c4"), std::string::npos);
+}
+
+TEST(Compaction, FullyDenseStride1ReadsCollapseByFactor) {
+  Fixture fix(1.0, 1.0, 0.0);
+  const auto out = apply_compaction(fix.app, fix.narrow, 4);
+  // reads: 1.0 fully dense stride 1 -> 0.25 packs; no extra reads.
+  EXPECT_NEAR(out.totals(fix.narrow).reads, 0.25 * 100, 1e-9);
+  // writes: full packs covered -> 0.25 writes, no RMW.
+  EXPECT_NEAR(out.totals(fix.narrow).writes, 0.25 * 100, 1e-9);
+}
+
+TEST(Compaction, Stride2CollapsesByHalfFactorWithRmw) {
+  Fixture fix(1.0, 2.0, 0.0);
+  const auto out = apply_compaction(fix.app, fix.narrow, 4);
+  // stride 2: packs = 1.0 * 2/4 = 0.5 per access.
+  // writes 0.5 + RMW reads 0.5 (partially covered packs);
+  // reads 0.5 + 0.5 RMW = 1.0.
+  EXPECT_NEAR(out.totals(fix.narrow).writes, 0.5 * 100, 1e-9);
+  EXPECT_NEAR(out.totals(fix.narrow).reads, (0.5 + 0.5) * 100, 1e-9);
+}
+
+TEST(Compaction, IsolatedWritesBecomeReadModifyWrite) {
+  Fixture fix(0.0, 1.0, 0.0);  // nothing dense
+  const auto out = apply_compaction(fix.app, fix.narrow, 4);
+  // reads unchanged (1.0) + RMW companion of the write (1.0) = 2.0.
+  EXPECT_NEAR(out.totals(fix.narrow).reads, 2.0 * 100, 1e-9);
+  EXPECT_NEAR(out.totals(fix.narrow).writes, 1.0 * 100, 1e-9);
+}
+
+TEST(Compaction, RmwReadPrecedesWrite) {
+  Fixture fix(0.0, 1.0, 0.0);
+  const auto out = apply_compaction(fix.app, fix.narrow, 4);
+  const auto& body = fix.body(out);
+  bool found = false;
+  for (const auto& [from, to] : body.deps) {
+    if (body.accesses[from].kind == ir::AccessKind::kRead &&
+        body.accesses[to].kind == ir::AccessKind::kWrite &&
+        body.accesses[from].group == fix.narrow && body.accesses[to].group == fix.narrow) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_NO_THROW(out.validate());
+}
+
+TEST(Compaction, DropsCoAccessHintsOfTarget) {
+  Fixture fix(1.0, 1.0, 0.9);
+  const auto out = apply_compaction(fix.app, fix.narrow, 4);
+  EXPECT_TRUE(fix.body(out).co_accesses.empty());
+}
+
+TEST(Compaction, OtherGroupsUntouched) {
+  Fixture fix(1.0, 1.0, 0.0);
+  const auto out = apply_compaction(fix.app, fix.narrow, 4);
+  EXPECT_DOUBLE_EQ(out.totals(fix.wide).reads, fix.app.totals(fix.wide).reads);
+  EXPECT_EQ(out.group(fix.wide).bitwidth, 8);
+}
+
+TEST(Compaction, RejectsBadFactorAndOverflow) {
+  Fixture fix(1.0, 1.0, 0.0);
+  EXPECT_THROW((void)apply_compaction(fix.app, fix.narrow, 1), support::ContractError);
+  EXPECT_THROW((void)apply_compaction(fix.app, fix.narrow, 64), support::ContractError);
+}
+
+TEST(RecommendedFactor, MatchesReferenceWidth) {
+  Fixture fix(1.0, 1.0, 0.0);
+  EXPECT_EQ(recommended_compaction_factor(fix.app, fix.narrow, 8), 4);
+  EXPECT_EQ(recommended_compaction_factor(fix.app, fix.wide, 8), 1);
+  EXPECT_EQ(recommended_compaction_factor(fix.app, fix.narrow, 16), 8);
+}
+
+TEST(Merging, GeometryOfRecord) {
+  Fixture fix(0.0, 1.0, 1.0);
+  const auto out = apply_merging(fix.app, fix.narrow, fix.wide, "record");
+  ASSERT_TRUE(out.find_group("record").has_value());
+  const auto& merged = out.group(*out.find_group("record"));
+  EXPECT_EQ(merged.words, 1024u);
+  EXPECT_EQ(merged.bitwidth, 10);
+  EXPECT_EQ(out.group_count(), 1u);  // constituent stub erased
+  EXPECT_NO_THROW(out.validate());
+}
+
+TEST(Merging, FullyCoAccessedPairsCollapse) {
+  Fixture fix(0.0, 1.0, 1.0);  // every read and write co-accessed
+  const auto out = apply_merging(fix.app, fix.narrow, fix.wide, "record");
+  const auto merged = *out.find_group("record");
+  // 1 merged read + 1 merged write per iteration; no solo accesses remain.
+  EXPECT_NEAR(out.totals(merged).reads, 1.0 * 100, 1e-9);
+  EXPECT_NEAR(out.totals(merged).writes, 1.0 * 100, 1e-9);
+}
+
+TEST(Merging, PartialCoAccessLeavesSoloTraffic) {
+  Fixture fix(0.0, 1.0, 0.5);
+  const auto out = apply_merging(fix.app, fix.narrow, fix.wide, "record");
+  const auto merged = *out.find_group("record");
+  // reads: 0.5 merged + 0.5 solo narrow + 0.5 solo wide = 1.5;
+  // plus RMW reads for the solo writes (0.5 + 0.5) = 2.5 total.
+  EXPECT_NEAR(out.totals(merged).reads, 2.5 * 100, 1e-9);
+  // writes: 0.5 merged + 0.5 + 0.5 solo = 1.5.
+  EXPECT_NEAR(out.totals(merged).writes, 1.5 * 100, 1e-9);
+}
+
+TEST(Merging, TotalRecordAccessesShrinkWhenAffinityHigh) {
+  Fixture fix(0.0, 1.0, 1.0);
+  const double before =
+      fix.app.totals(fix.narrow).total() + fix.app.totals(fix.wide).total();
+  const auto out = apply_merging(fix.app, fix.narrow, fix.wide, "record");
+  const auto merged = *out.find_group("record");
+  EXPECT_LT(out.totals(merged).total(), before);
+}
+
+TEST(Merging, RejectsIncompatibleWordCounts) {
+  ir::Application app("bad");
+  const auto a = app.add_group({"a", 100, 8});
+  const auto b = app.add_group({"b", 1000, 8});
+  EXPECT_THROW((void)apply_merging(app, a, b, "x"), support::ContractError);
+  EXPECT_THROW((void)apply_merging(app, a, a, "x"), support::ContractError);
+}
+
+TEST(Merging, RejectsConflictingForcedLocations) {
+  ir::Application app("bad");
+  const auto a = app.add_group({"a", 100, 8, memlib::Location::kOnChip, 2});
+  const auto b = app.add_group({"b", 100, 8, memlib::Location::kOffChip, 2});
+  EXPECT_THROW((void)apply_merging(app, a, b, "x"), support::ContractError);
+}
+
+TEST(Affinity, ReflectsCoAccessFraction) {
+  Fixture full(0.0, 1.0, 1.0);
+  EXPECT_NEAR(co_access_affinity(full.app, full.narrow, full.wide), 1.0, 1e-9);
+  Fixture half(0.0, 1.0, 0.5);
+  EXPECT_NEAR(co_access_affinity(half.app, half.narrow, half.wide), 0.5, 1e-9);
+  ir::Application cold("cold");
+  const auto a = cold.add_group({"a", 10, 8});
+  const auto b = cold.add_group({"b", 10, 8});
+  EXPECT_DOUBLE_EQ(co_access_affinity(cold, a, b), 0.0);
+}
+
+}  // namespace
+}  // namespace dtse::structuring

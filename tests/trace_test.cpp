@@ -1,0 +1,270 @@
+// Tests for the profiling infrastructure: recorder, instrumented arrays,
+// LRU reuse simulation, and IR extraction.
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+#include "trace/instrumented_array.hpp"
+#include "trace/recorder.hpp"
+
+namespace dtse::trace {
+namespace {
+
+TEST(Recorder, CountsReadsAndWritesPerBody) {
+  Recorder rec("app");
+  const auto a = rec.register_array("a", 100, 8);
+  for (int i = 0; i < 10; ++i) {
+    Iteration scope(rec, "body");
+    rec.record(a, static_cast<std::uint64_t>(i), ir::AccessKind::kRead);
+    rec.record(a, static_cast<std::uint64_t>(i), ir::AccessKind::kRead);
+    rec.record(a, static_cast<std::uint64_t>(i), ir::AccessKind::kWrite);
+  }
+  const auto app = rec.build();
+  ASSERT_EQ(app.body_count(), 1u);
+  const auto& body = app.body(ir::LoopBodyId(0));
+  EXPECT_EQ(body.iterations, 10u);
+  const auto totals = app.totals(ir::BasicGroupId(0));
+  EXPECT_DOUBLE_EQ(totals.reads, 20.0);
+  EXPECT_DOUBLE_EQ(totals.writes, 10.0);
+}
+
+TEST(Recorder, StrideStatistics) {
+  Recorder rec("app");
+  const auto a = rec.register_array("a", 1000, 8);
+  // Pure stride-1 scan.
+  for (int i = 0; i < 100; ++i) {
+    Iteration scope(rec, "seq");
+    rec.record(a, static_cast<std::uint64_t>(i), ir::AccessKind::kRead);
+  }
+  // Stride-2 scan.
+  for (int i = 0; i < 100; ++i) {
+    Iteration scope(rec, "dense2");
+    rec.record(a, static_cast<std::uint64_t>(2 * i), ir::AccessKind::kRead);
+  }
+  // Random-ish (large stride).
+  for (int i = 0; i < 100; ++i) {
+    Iteration scope(rec, "sparse");
+    rec.record(a, static_cast<std::uint64_t>(7 * i), ir::AccessKind::kRead);
+  }
+  const auto app = rec.build();
+  const auto& seq = app.body(ir::LoopBodyId(0)).accesses[0];
+  EXPECT_NEAR(seq.stride1_fraction, 0.99, 0.011);
+  EXPECT_NEAR(seq.dense_fraction, 0.99, 0.011);
+  EXPECT_NEAR(seq.dense_stride, 1.0, 1e-9);
+  const auto& dense2 = app.body(ir::LoopBodyId(1)).accesses[0];
+  EXPECT_NEAR(dense2.stride1_fraction, 0.0, 1e-9);
+  EXPECT_NEAR(dense2.dense_fraction, 0.99, 0.011);
+  EXPECT_NEAR(dense2.dense_stride, 2.0, 1e-9);
+  const auto& sparse = app.body(ir::LoopBodyId(2)).accesses[0];
+  EXPECT_NEAR(sparse.dense_fraction, 0.0, 1e-9);
+}
+
+TEST(Recorder, CoAccessDetection) {
+  Recorder rec("app");
+  const auto a = rec.register_array("a", 100, 8);
+  const auto b = rec.register_array("b", 100, 2);
+  for (int i = 0; i < 50; ++i) {
+    Iteration scope(rec, "body");
+    rec.record(a, static_cast<std::uint64_t>(i), ir::AccessKind::kRead);
+    rec.record(b, static_cast<std::uint64_t>(i), ir::AccessKind::kRead);  // same index
+    rec.record(b, static_cast<std::uint64_t>(i + 1), ir::AccessKind::kWrite);  // not
+  }
+  const auto app = rec.build();
+  const auto& body = app.body(ir::LoopBodyId(0));
+  ASSERT_EQ(body.co_accesses.size(), 1u);
+  EXPECT_DOUBLE_EQ(body.co_accesses[0].pairs_per_iteration, 1.0);
+  const auto& acc_a = body.accesses[body.co_accesses[0].access_a];
+  const auto& acc_b = body.accesses[body.co_accesses[0].access_b];
+  EXPECT_EQ(acc_a.kind, ir::AccessKind::kRead);
+  EXPECT_EQ(acc_b.kind, ir::AccessKind::kRead);
+  EXPECT_NE(acc_a.group, acc_b.group);
+}
+
+TEST(Recorder, DifferentKindsDoNotCoAccess) {
+  Recorder rec("app");
+  const auto a = rec.register_array("a", 100, 8);
+  const auto b = rec.register_array("b", 100, 2);
+  for (int i = 0; i < 10; ++i) {
+    Iteration scope(rec, "body");
+    rec.record(a, static_cast<std::uint64_t>(i), ir::AccessKind::kRead);
+    rec.record(b, static_cast<std::uint64_t>(i), ir::AccessKind::kWrite);
+  }
+  const auto app = rec.build();
+  EXPECT_TRUE(app.body(ir::LoopBodyId(0)).co_accesses.empty());
+}
+
+TEST(Recorder, DependencySkeletonIsAcyclicAndMeaningful) {
+  Recorder rec("app");
+  const auto in = rec.register_array("in", 100, 8);
+  const auto out = rec.register_array("out", 100, 8);
+  for (int i = 0; i < 5; ++i) {
+    Iteration scope(rec, "body");
+    rec.record(in, static_cast<std::uint64_t>(i), ir::AccessKind::kRead);
+    rec.record(out, static_cast<std::uint64_t>(i), ir::AccessKind::kWrite);
+    rec.record(out, static_cast<std::uint64_t>(i), ir::AccessKind::kRead);
+    rec.record(in, static_cast<std::uint64_t>(i), ir::AccessKind::kWrite);
+  }
+  const auto app = rec.build();
+  EXPECT_NO_THROW(app.validate());  // validates acyclicity
+  const auto& body = app.body(ir::LoopBodyId(0));
+  // read(in) must gate write(out).
+  bool found = false;
+  for (const auto& [from, to] : body.deps) {
+    if (body.accesses[from].group == ir::BasicGroupId(0) &&
+        body.accesses[from].kind == ir::AccessKind::kRead &&
+        body.accesses[to].group == ir::BasicGroupId(1) &&
+        body.accesses[to].kind == ir::AccessKind::kWrite) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Recorder, LruMissesForKnownPattern) {
+  Recorder rec("app");
+  const auto a = rec.register_array("a", 100, 8);
+  rec.set_reuse_windows(a, std::vector<std::uint64_t>{2, 4});
+  // Cyclic scan over 4 addresses, 10 rounds: window 2 misses every access
+  // (LRU thrashing), window 4 misses only the 4 first touches.
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 4; ++i) {
+      Iteration scope(rec, "body");
+      rec.record(a, static_cast<std::uint64_t>(i), ir::AccessKind::kRead);
+    }
+  }
+  const auto app = rec.build();
+  const auto* profile = app.reuse_profile(ir::BasicGroupId(0));
+  ASSERT_NE(profile, nullptr);
+  ASSERT_EQ(profile->windows.size(), 2u);
+  EXPECT_DOUBLE_EQ(profile->windows[0].misses_per_frame, 40.0);
+  EXPECT_DOUBLE_EQ(profile->windows[1].misses_per_frame, 4.0);
+}
+
+TEST(Recorder, WritesDoNotTouchReuseSimulation) {
+  Recorder rec("app");
+  const auto a = rec.register_array("a", 100, 8);
+  rec.set_reuse_windows(a, std::vector<std::uint64_t>{4});
+  for (int i = 0; i < 10; ++i) {
+    Iteration scope(rec, "body");
+    rec.record(a, static_cast<std::uint64_t>(i), ir::AccessKind::kWrite);
+  }
+  const auto app = rec.build();
+  EXPECT_DOUBLE_EQ(app.reuse_profile(ir::BasicGroupId(0))->windows[0].misses_per_frame,
+                   0.0);
+}
+
+TEST(Recorder, DeclaredWindowCapacitiesSurviveExtraction) {
+  Recorder rec("app");
+  const auto a = rec.register_array("a", 100, 8);
+  rec.set_reuse_windows(a, std::vector<Recorder::WindowSpec>{{4, 16}});
+  {
+    Iteration scope(rec, "body");
+    rec.record(a, 0, ir::AccessKind::kRead);
+  }
+  const auto app = rec.build();
+  EXPECT_EQ(app.reuse_profile(ir::BasicGroupId(0))->windows[0].window_words, 16u);
+}
+
+TEST(Recorder, ScalingMultipliesIterationsAndMisses) {
+  Recorder rec("app");
+  const auto a = rec.register_array("a", 100, 8);
+  rec.set_reuse_windows(a, std::vector<std::uint64_t>{4});
+  for (int i = 0; i < 10; ++i) {
+    Iteration scope(rec, "body");
+    rec.record(a, static_cast<std::uint64_t>(i % 8), ir::AccessKind::kRead);
+  }
+  const auto app = rec.build(4.0);
+  EXPECT_EQ(app.body(ir::LoopBodyId(0)).iterations, 40u);
+  // per-iteration intensity unchanged:
+  EXPECT_DOUBLE_EQ(app.body(ir::LoopBodyId(0)).accesses[0].per_iteration, 1.0);
+  EXPECT_DOUBLE_EQ(app.reuse_profile(ir::BasicGroupId(0))->windows[0].misses_per_frame,
+                   10.0 * 4.0);
+}
+
+TEST(Recorder, NestingAndMisuseRejected) {
+  Recorder rec("app");
+  const auto a = rec.register_array("a", 10, 8);
+  EXPECT_THROW(rec.record(a, 0, ir::AccessKind::kRead), support::ContractError);
+  rec.begin_iteration("x");
+  EXPECT_THROW(rec.begin_iteration("y"), support::ContractError);
+  rec.end_iteration();
+  EXPECT_THROW(rec.end_iteration(), support::ContractError);
+}
+
+TEST(Recorder, DuplicateArrayNameRejected) {
+  Recorder rec("app");
+  rec.register_array("a", 10, 8);
+  EXPECT_THROW(rec.register_array("a", 20, 8), support::ContractError);
+}
+
+TEST(Recorder, ForcedLocationPropagates) {
+  Recorder rec("app");
+  const auto a = rec.register_array("a", 10, 8, memlib::Location::kOnChip);
+  {
+    Iteration scope(rec, "body");
+    rec.record(a, 0, ir::AccessKind::kRead);
+  }
+  const auto app = rec.build();
+  EXPECT_EQ(app.group(ir::BasicGroupId(0)).forced_location, memlib::Location::kOnChip);
+}
+
+TEST(InstrumentedArray, RecordsOnlyInsideIterations) {
+  Recorder rec("app");
+  InstrumentedArray<int> arr(rec, "arr", 16, 8);
+  arr.write(3, 42);  // outside a scope: untracked
+  {
+    Iteration scope(rec, "body");
+    EXPECT_EQ(arr.read(3), 42);
+    arr.write(4, 1);
+  }
+  const auto app = rec.build();
+  const auto totals = app.totals(ir::BasicGroupId(0));
+  EXPECT_DOUBLE_EQ(totals.reads, 1.0);
+  EXPECT_DOUBLE_EQ(totals.writes, 1.0);
+}
+
+TEST(InstrumentedArray, BoundsChecked) {
+  InstrumentedArray<int> arr("arr", 4);
+  EXPECT_THROW((void)arr.read(4), support::ContractError);
+  EXPECT_THROW(arr.write(4, 0), support::ContractError);
+}
+
+TEST(InstrumentedArray, DeclaredWordsOverrideActualSize) {
+  Recorder rec("app");
+  InstrumentedArray<int> arr(rec, "arr", 16, 8, 0, 1024);
+  {
+    Iteration scope(rec, "body");
+    arr.write(0, 1);
+  }
+  const auto app = rec.build();
+  EXPECT_EQ(app.group(ir::BasicGroupId(0)).words, 1024u);
+}
+
+TEST(InstrumentedArray2D, RowMajorIndexing) {
+  Recorder rec("app");
+  InstrumentedArray2D<int> arr(rec, "arr", 4, 3, 8);
+  {
+    Iteration scope(rec, "body");
+    arr.write(1, 2, 7);
+    EXPECT_EQ(arr.read(1, 2), 7);
+  }
+  EXPECT_THROW((void)arr.read(4, 0), support::ContractError);
+  EXPECT_THROW((void)arr.read(0, 3), support::ContractError);
+  const auto app = rec.build();
+  EXPECT_EQ(app.group(ir::BasicGroupId(0)).words, 12u);
+}
+
+TEST(Recorder, BuildValidatesAndIsRepeatable) {
+  Recorder rec("app");
+  const auto a = rec.register_array("a", 10, 8);
+  {
+    Iteration scope(rec, "body");
+    rec.record(a, 0, ir::AccessKind::kRead);
+  }
+  const auto app1 = rec.build();
+  const auto app2 = rec.build();
+  EXPECT_EQ(app1.group_count(), app2.group_count());
+  EXPECT_EQ(app1.body_count(), app2.body_count());
+}
+
+}  // namespace
+}  // namespace dtse::trace
