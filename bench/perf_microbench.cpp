@@ -7,11 +7,16 @@
 
 #include "alloc/assignment_problem.hpp"
 #include "alloc/solvers.hpp"
+#include "btpc/adaptive_huffman.hpp"
+#include "btpc/bitstream.hpp"
 #include "btpc/codec.hpp"
 #include "core/btpc_case_study.hpp"
 #include "core/explorer.hpp"
+#include "graph/conflict_graph.hpp"
 #include "scbd/budget_distribution.hpp"
 #include "support/image.hpp"
+#include "trace/instrumented_array.hpp"
+#include "trace/recorder.hpp"
 
 namespace {
 
@@ -99,6 +104,171 @@ void BM_FullFeedbackEvaluation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullFeedbackEvaluation);
+
+// --- trace layer -------------------------------------------------------------
+
+// The recorder fast path: instrumented reads/writes inside Iteration scopes,
+// including the per-iteration flat aggregation at scope exit.
+void BM_RecorderRecordThroughput(benchmark::State& state) {
+  trace::Recorder recorder("bench");
+  trace::InstrumentedArray<std::uint32_t> a(recorder, "a", 4096, 16);
+  trace::InstrumentedArray<std::uint32_t> b(recorder, "b", 4096, 16);
+  constexpr std::size_t kAccessesPerIteration = 16;
+  for (auto _ : state) {
+    trace::Iteration scope(recorder, "body");
+    for (std::size_t i = 0; i < kAccessesPerIteration / 2; ++i) {
+      benchmark::DoNotOptimize(a.read(i));
+      b.write((i * 7) & 4095u, static_cast<std::uint32_t>(i));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kAccessesPerIteration));
+}
+BENCHMARK(BM_RecorderRecordThroughput);
+
+// Uninstrumented wrapper accesses; the Release target for this is raw
+// std::vector indexing speed (bounds checks compile out, one null test).
+void BM_UninstrumentedArrayAccess(benchmark::State& state) {
+  trace::InstrumentedArray<std::uint32_t> a("a", 4096);
+  std::uint32_t acc = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < 4096; ++i) {
+      a.write(i, acc);
+      acc += a.read((i * 13) & 4095u);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * 4096);
+}
+BENCHMARK(BM_UninstrumentedArrayAccess);
+
+// --- btpc substrate ----------------------------------------------------------
+
+void BM_BitWriterThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    btpc::BitWriter writer;
+    for (std::uint32_t i = 0; i < 4096; ++i) writer.put(i & 0x1FFu, 9);
+    benchmark::DoNotOptimize(writer.finish());
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_BitWriterThroughput);
+
+void BM_BitReaderThroughput(benchmark::State& state) {
+  btpc::BitWriter writer;
+  for (std::uint32_t i = 0; i < 4096; ++i) writer.put(i & 0x1FFu, 9);
+  const auto words = writer.finish();
+  for (auto _ : state) {
+    btpc::BitReader reader(words);
+    std::uint32_t acc = 0;
+    for (std::uint32_t i = 0; i < 4096; ++i) acc ^= reader.get(9);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_BitReaderThroughput);
+
+// Rate estimation: code_length over the whole alphabet, served from the
+// cached table (one lazy tree sweep per model change).
+void BM_HuffmanCodeLength(benchmark::State& state) {
+  btpc::AdaptiveHuffmanBank bank;
+  btpc::BitWriter writer;
+  for (int i = 0; i < 5000; ++i) {
+    bank.encode(i % btpc::AdaptiveHuffmanBank::kCoders, (i * 7) % 64, writer);
+  }
+  for (auto _ : state) {
+    int total = 0;
+    for (int coder = 0; coder < btpc::AdaptiveHuffmanBank::kCoders; ++coder) {
+      for (int symbol = 0; symbol < btpc::AdaptiveHuffmanBank::kSymbols; ++symbol) {
+        total += bank.code_length(coder, symbol);
+      }
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * btpc::AdaptiveHuffmanBank::kCoders *
+                          btpc::AdaptiveHuffmanBank::kSymbols);
+}
+BENCHMARK(BM_HuffmanCodeLength);
+
+// --- conflict graph ----------------------------------------------------------
+
+graph::ConflictGraph make_conflict_graph(int nodes) {
+  graph::ConflictGraph g;
+  for (int i = 0; i < nodes; ++i) {
+    for (int j = i; j < nodes; ++j) {
+      if ((i * 31 + j) % 3 == 0) {
+        g.add_conflict(ir::BasicGroupId(static_cast<std::uint32_t>(i)),
+                       ir::BasicGroupId(static_cast<std::uint32_t>(j)),
+                       1.0 + static_cast<double>(j));
+      }
+    }
+  }
+  return g;
+}
+
+// The branch-and-bound solver's inner-loop queries: conflicts() and
+// conflict_weight() over every pair.
+void BM_ConflictGraphQuery(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto g = make_conflict_graph(n);
+  for (auto _ : state) {
+    double weight = 0.0;
+    int hits = 0;
+    for (int i = 0; i < n; ++i) {
+      for (int j = i; j < n; ++j) {
+        const ir::BasicGroupId a(static_cast<std::uint32_t>(i));
+        const ir::BasicGroupId b(static_cast<std::uint32_t>(j));
+        hits += g.conflicts(a, b) ? 1 : 0;
+        weight += g.conflict_weight(a, b);
+      }
+    }
+    benchmark::DoNotOptimize(weight);
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * n * (n + 1));  // two queries per pair
+}
+BENCHMARK(BM_ConflictGraphQuery)->Arg(20)->Arg(64);
+
+void BM_ConflictGraphCliqueBound(benchmark::State& state) {
+  const auto g = make_conflict_graph(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.clique_lower_bound());
+  }
+}
+BENCHMARK(BM_ConflictGraphCliqueBound)->Arg(20)->Arg(64);
+
+// --- exploration sweeps ------------------------------------------------------
+
+// The cycle-budget sweep at different parallelism settings; results are
+// bit-identical across the settings, only wall-clock changes.  Real time is
+// the relevant axis for thread scaling.
+void BM_ExploreCycleBudgetSweep(benchmark::State& state) {
+  const auto& app = demo_app();
+  core::Explorer explorer{memlib::MemoryLibrary{}};
+  core::ExplorerOptions options;
+  options.parallelism = static_cast<unsigned>(state.range(0));
+  const std::vector<std::uint64_t> budgets = {20'000'000, 18'000'000, 16'000'000,
+                                              14'000'000, 12'000'000, 11'000'000};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(explorer.explore_cycle_budgets(app, budgets, options));
+  }
+}
+BENCHMARK(BM_ExploreCycleBudgetSweep)->Arg(1)->Arg(4)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// The acceptance-criterion macro run: profile a 256x256 BTPC encode and feed
+// the model through one full evaluation.
+void BM_ProfiledFeedback256(benchmark::State& state) {
+  core::BtpcCaseOptions options;
+  options.profile_width = 256;
+  options.profile_height = 256;
+  core::Explorer explorer{memlib::MemoryLibrary{}};
+  for (auto _ : state) {
+    const auto app = core::profile_btpc_demonstrator(options);
+    benchmark::DoNotOptimize(explorer.evaluate(app));
+  }
+}
+BENCHMARK(BM_ProfiledFeedback256)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -35,6 +35,7 @@ void AdaptiveHuffmanBank::reset() {
 }
 
 void AdaptiveHuffmanBank::prime_slice(int coder) {
+  code_length_valid_[static_cast<std::size_t>(coder)] = false;
   const std::size_t base = static_cast<std::size_t>(coder) * kNodesPerCoder;
   // Leaves first (weight 1), then internal levels pairing consecutive nodes;
   // this numbering is non-decreasing in weight, so the sibling property
@@ -111,18 +112,35 @@ int AdaptiveHuffmanBank::decode(int coder, BitReader& reader) {
 int AdaptiveHuffmanBank::code_length(int coder, int symbol) const {
   DTSE_CHECK(coder >= 0 && coder < kCoders, "coder index out of range");
   DTSE_CHECK(symbol >= 0 && symbol < kSymbols, "symbol out of range");
+  if (!code_length_valid_[static_cast<std::size_t>(coder)]) rebuild_code_lengths(coder);
+  return code_length_cache_[static_cast<std::size_t>(coder) * kSymbols +
+                            static_cast<std::size_t>(symbol)];
+}
+
+void AdaptiveHuffmanBank::rebuild_code_lengths(int coder) const {
   const std::size_t base = static_cast<std::size_t>(coder) * kNodesPerCoder;
-  std::uint32_t node =
-      leaf_.read(static_cast<std::size_t>(coder) * kSymbols + static_cast<std::size_t>(symbol));
-  int depth = 0;
-  while (node != kRootLocal) {
-    node = parent_.read(base + node);
-    ++depth;
+  const auto& left = left_.raw();
+  const auto& right = right_.raw();
+  // The sibling property orders weights non-decreasingly by node index and a
+  // parent's weight strictly exceeds each child's, so a parent always sits at
+  // a higher index: one top-down sweep propagates depths to every leaf.
+  std::array<std::uint8_t, kNodesPerCoder> depth{};
+  for (int n = kRootLocal; n >= 0; --n) {
+    const auto payload = left[base + static_cast<std::size_t>(n)];
+    if (is_leaf(payload)) {
+      code_length_cache_[static_cast<std::size_t>(coder) * kSymbols +
+                         (payload & (kLeafTag - 1))] = depth[static_cast<std::size_t>(n)];
+    } else {
+      const auto d = static_cast<std::uint8_t>(depth[static_cast<std::size_t>(n)] + 1);
+      depth[payload] = d;
+      depth[right[base + static_cast<std::size_t>(n)]] = d;
+    }
   }
-  return depth;
+  code_length_valid_[static_cast<std::size_t>(coder)] = true;
 }
 
 void AdaptiveHuffmanBank::update(int coder, int symbol) {
+  code_length_valid_[static_cast<std::size_t>(coder)] = false;
   const std::size_t base = static_cast<std::size_t>(coder) * kNodesPerCoder;
   std::uint32_t q =
       leaf_.read(static_cast<std::size_t>(coder) * kSymbols + static_cast<std::size_t>(symbol));

@@ -20,6 +20,7 @@
 // increment a node is first swapped with its weight-block leader.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 #include "btpc/bitstream.hpp"
@@ -55,6 +56,14 @@ class AdaptiveHuffmanBank {
   [[nodiscard]] int decode(int coder, BitReader& reader);
 
   /// Code length (bits) `symbol` would currently cost — rate estimation.
+  /// Served from a per-coder cached table that is rebuilt lazily (one
+  /// top-down sweep of the slice) after the model changed, so sweeping the
+  /// whole alphabet costs one tree walk instead of one per symbol.  The
+  /// rebuild reads the raw arrays: rate estimation is a tool-side query, not
+  /// demonstrator memory traffic, so it stays out of the access profile.
+  /// Despite being const, the lazy rebuild mutates the cache — a bank must
+  /// not be queried from multiple threads concurrently (nor is it anywhere:
+  /// the parallel sweeps share Application models, never coder banks).
   [[nodiscard]] int code_length(int coder, int symbol) const;
 
   /// Verifies the FGK sibling property of every slice (test support).
@@ -63,6 +72,7 @@ class AdaptiveHuffmanBank {
  private:
   void prime_slice(int coder);
   void update(int coder, int symbol);
+  void rebuild_code_lengths(int coder) const;
   [[nodiscard]] bool is_leaf(std::uint32_t node_payload) const;
 
   static constexpr std::uint32_t kNoNode = 0x3FFu;        ///< parent sentinel
@@ -75,6 +85,9 @@ class AdaptiveHuffmanBank {
   trace::InstrumentedArray<std::uint32_t> right_;
   trace::InstrumentedArray<std::uint32_t> leaf_;
   trace::InstrumentedArray<std::uint32_t> code_stack_;
+
+  mutable std::array<std::uint8_t, kCoders * kSymbols> code_length_cache_{};
+  mutable std::array<bool, kCoders> code_length_valid_{};
 };
 
 /// Folds a signed residual into the coder's symbol space: zigzag mapping

@@ -2,54 +2,13 @@
 
 namespace dtse::btpc {
 
-void BitWriter::put(std::uint32_t bits, int count) {
-  DTSE_CHECK(count >= 0 && count <= 24, "bit count out of range");
-  DTSE_CHECK(count == 24 || bits < (1u << count), "value does not fit in bit count");
-  bits_written_ += static_cast<std::uint64_t>(count);
-  for (int i = count - 1; i >= 0; --i) {
-    accumulator_ = (accumulator_ << 1) | ((bits >> i) & 1u);
-    if (++filled_ == 16) flush_word();
-  }
-  if (bit_accum_ != nullptr && count > 0) {
-    // Packing state: read-modify-write of the accumulator register file.
-    (void)bit_accum_->read(0);
-    bit_accum_->write(0, accumulator_);
-  }
-}
-
-void BitWriter::flush_word() {
-  const auto word = static_cast<std::uint16_t>(accumulator_ & 0xFFFFu);
-  if (out_buf_ != nullptr) {
-    out_buf_->write(words_.size() % out_buf_->size(), word);
-  }
-  words_.push_back(word);
-  accumulator_ = 0;
-  filled_ = 0;
-}
-
 std::vector<std::uint16_t> BitWriter::finish() {
   if (filled_ > 0) {
     accumulator_ <<= (16 - filled_);
-    filled_ = 16;
-    flush_word();
+    filled_ = 0;
+    emit_word(static_cast<std::uint16_t>(accumulator_));
   }
   return std::move(words_);
-}
-
-std::uint32_t BitReader::get(int count) {
-  DTSE_CHECK(count >= 0 && count <= 24, "bit count out of range");
-  std::uint32_t value = 0;
-  for (int i = 0; i < count; ++i) {
-    DTSE_CHECK(word_pos_ < words_->size(), "bitstream exhausted");
-    const auto word = (*words_)[word_pos_];
-    value = (value << 1) | ((word >> (15 - bit_pos_)) & 1u);
-    if (++bit_pos_ == 16) {
-      bit_pos_ = 0;
-      ++word_pos_;
-    }
-  }
-  bits_read_ += static_cast<std::uint64_t>(count);
-  return value;
 }
 
 }  // namespace dtse::btpc

@@ -1,9 +1,16 @@
 // Bit-level I/O for the BTPC codec.
 //
+// Both ends run on 64-bit accumulators: the writer batches incoming codes
+// into a 64-bit register and emits 16-bit stream words in bulk once enough
+// bits pile up; the reader pulls word-sized chunks so a multi-bit `get`
+// crosses word boundaries in one call instead of stepping bit by bit.
+//
 // The writer can optionally mirror its activity into instrumented arrays
 // (`bit_accum` packing state and the `out_buf` stream ring) so that the
 // profiled application model sees the output-stage memory traffic of the
-// real encoder.
+// real encoder; the mirror records one accumulator read-modify-write per
+// `put` and one ring write per emitted word, exactly as before the 64-bit
+// rework.
 #pragma once
 
 #include <cstdint>
@@ -26,7 +33,27 @@ class BitWriter {
   }
 
   /// Appends `count` bits (MSB first) of `bits`.
-  void put(std::uint32_t bits, int count);
+  void put(std::uint32_t bits, int count) {
+    DTSE_CHECK(count >= 0 && count <= 24, "bit count out of range");
+    DTSE_CHECK(count == 24 || bits < (1u << count), "value does not fit in bit count");
+    bits_written_ += static_cast<std::uint64_t>(count);
+    // A 24-bit put is exempt from the range check (historical contract), so
+    // mask to the requested width or stray high bits would OR into stream
+    // bits already sitting in the accumulator.
+    if (count == 24) bits &= 0x00FF'FFFFu;
+    // filled_ < 16 on entry and count <= 24, so the shift never overflows.
+    accumulator_ = (accumulator_ << count) | bits;
+    filled_ += count;
+    while (filled_ >= 16) {
+      filled_ -= 16;
+      emit_word(static_cast<std::uint16_t>(accumulator_ >> filled_));
+    }
+    if (bit_accum_ != nullptr && count > 0) {
+      // Packing state: read-modify-write of the accumulator register file.
+      (void)bit_accum_->read(0);
+      bit_accum_->write(0, static_cast<std::uint32_t>(accumulator_));
+    }
+  }
 
   /// Pads to a 16-bit boundary and returns the stream.
   [[nodiscard]] std::vector<std::uint16_t> finish();
@@ -34,10 +61,15 @@ class BitWriter {
   [[nodiscard]] std::uint64_t bits_written() const { return bits_written_; }
 
  private:
-  void flush_word();
+  void emit_word(std::uint16_t word) {
+    if (out_buf_ != nullptr) {
+      out_buf_->write(words_.size() % out_buf_->size(), word);
+    }
+    words_.push_back(word);
+  }
 
   std::vector<std::uint16_t> words_;
-  std::uint32_t accumulator_ = 0;
+  std::uint64_t accumulator_ = 0;  ///< low `filled_` bits are pending output
   int filled_ = 0;
   std::uint64_t bits_written_ = 0;
   trace::InstrumentedArray<std::uint32_t>* bit_accum_ = nullptr;
@@ -48,8 +80,30 @@ class BitReader {
  public:
   explicit BitReader(const std::vector<std::uint16_t>& words) : words_(&words) {}
 
-  /// Reads `count` bits MSB first.  Reading past the end throws.
-  [[nodiscard]] std::uint32_t get(int count);
+  /// Reads `count` bits (up to 32) MSB first, crossing word boundaries in
+  /// one call.  Reading past the end throws.
+  [[nodiscard]] std::uint32_t get(int count) {
+    DTSE_CHECK(count >= 0 && count <= 32, "bit count out of range");
+    std::uint32_t value = 0;
+    int need = count;
+    while (need > 0) {
+      DTSE_CHECK(word_pos_ < words_->size(), "bitstream exhausted");
+      const int avail = 16 - bit_pos_;
+      const int take = need < avail ? need : avail;
+      const auto word = (*words_)[word_pos_];
+      const auto chunk =
+          (static_cast<std::uint32_t>(word) >> (avail - take)) & ((1u << take) - 1u);
+      value = (value << take) | chunk;
+      bit_pos_ += take;
+      if (bit_pos_ == 16) {
+        bit_pos_ = 0;
+        ++word_pos_;
+      }
+      need -= take;
+    }
+    bits_read_ += static_cast<std::uint64_t>(count);
+    return value;
+  }
 
   /// Reads one bit.
   [[nodiscard]] int get_bit() { return static_cast<int>(get(1)); }

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "support/check.hpp"
+#include "support/parallel.hpp"
 
 namespace dtse::core {
 
@@ -42,52 +43,46 @@ graph::MacpReport Explorer::analyze_critical_path(const ir::Application& app,
 std::vector<Variant> Explorer::explore_variants(
     std::vector<std::pair<std::string, ir::Application>> variants,
     const ExplorerOptions& options) const {
-  std::vector<Variant> result;
-  result.reserve(variants.size());
-  for (auto& [label, app] : variants) {
-    Variant variant;
-    variant.label = std::move(label);
-    variant.eval = evaluate(app, options);
-    variant.app = std::move(app);
-    result.push_back(std::move(variant));
-  }
+  std::vector<Variant> result(variants.size());
+  support::parallel_for(variants.size(), options.parallelism, [&](std::size_t i) {
+    auto& [label, app] = variants[i];
+    result[i].eval = evaluate(app, options);
+    result[i].label = std::move(label);
+    result[i].app = std::move(app);
+  });
   return result;
 }
 
 std::vector<BudgetPoint> Explorer::explore_cycle_budgets(
     const ir::Application& app, const std::vector<std::uint64_t>& budgets,
     const ExplorerOptions& options) const {
-  std::vector<BudgetPoint> points;
-  points.reserve(budgets.size());
-  for (const auto budget : budgets) {
+  std::vector<BudgetPoint> points(budgets.size());
+  support::parallel_for(budgets.size(), options.parallelism, [&](std::size_t i) {
     auto point_options = options;
-    point_options.storage_budget_cycles = budget;
+    point_options.storage_budget_cycles = budgets[i];
     BudgetPoint point;
-    point.requested_budget = budget;
+    point.requested_budget = budgets[i];
     point.eval = evaluate(app, point_options);
     point.used_cycles = point.eval.scbd.used_cycles;
     point.spare_cycles = point.eval.spare_cycles;
     point.spare_percent = 100.0 * static_cast<double>(point.spare_cycles) /
                           static_cast<double>(options.real_time_budget_cycles);
-    points.push_back(std::move(point));
-  }
+    points[i] = std::move(point);
+  });
   return points;
 }
 
 std::vector<Variant> Explorer::explore_allocation_counts(
     const ir::Application& app, const std::vector<int>& counts,
     const ExplorerOptions& options) const {
-  std::vector<Variant> result;
-  result.reserve(counts.size());
-  for (const auto count : counts) {
+  std::vector<Variant> result(counts.size());
+  support::parallel_for(counts.size(), options.parallelism, [&](std::size_t i) {
     auto count_options = options;
-    count_options.allocation.onchip_memories = count;
-    Variant variant;
-    variant.label = std::to_string(count) + " on-chip memories";
-    variant.eval = evaluate(app, count_options);
-    variant.app = app;
-    result.push_back(std::move(variant));
-  }
+    count_options.allocation.onchip_memories = counts[i];
+    result[i].label = std::to_string(counts[i]) + " on-chip memories";
+    result[i].eval = evaluate(app, count_options);
+    result[i].app = app;
+  });
   return result;
 }
 

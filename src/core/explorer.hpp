@@ -35,6 +35,11 @@ struct ExplorerOptions {
   /// Cycles granted to memory accesses; tightening it below the real-time
   /// budget frees cycles for data-path scheduling (Section 4.5).
   std::uint64_t storage_budget_cycles = 20'000'000;
+  /// Worker threads for the explore_* sweeps.  Every `evaluate` call is a
+  /// pure function of (application, options), so the sweep points run
+  /// concurrently and land in index order — results are bit-identical to a
+  /// serial run.  0 = hardware concurrency, 1 = serial.
+  unsigned parallelism = 0;
   scbd::ScbdOptions scbd;
   alloc::AllocationOptions allocation;
 };

@@ -1,69 +1,90 @@
 #include "graph/conflict_graph.hpp"
 
 #include <algorithm>
-#include <set>
 #include <sstream>
 
 #include "support/check.hpp"
 
 namespace dtse::graph {
 
-ConflictGraph::Key ConflictGraph::make_key(ir::BasicGroupId a, ir::BasicGroupId b) {
-  if (b < a) std::swap(a, b);
-  return {a, b};
+namespace {
+
+bool edge_key_less(const ConflictGraph::Edge& x, const ConflictGraph::Edge& y) {
+  if (x.a != y.a) return x.a < y.a;
+  return x.b < y.b;
+}
+
+}  // namespace
+
+void ConflictGraph::ensure_capacity(std::size_t nodes) {
+  if (nodes <= capacity_) return;
+  // Geometric growth keeps the rebuild amortized while group counts trickle
+  // in one at a time from the scheduler.
+  const std::size_t grown = std::max(nodes, capacity_ * 2);
+  std::vector<std::int32_t> slot(grown * grown, -1);
+  const std::size_t words = (grown + 63) / 64;
+  std::vector<std::uint64_t> adjacency(grown * words, 0);
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    const auto lo = edges_[i].a.index();
+    const auto hi = edges_[i].b.index();
+    slot[lo * grown + hi] = static_cast<std::int32_t>(i);
+    adjacency[lo * words + hi / 64] |= std::uint64_t{1} << (hi % 64);
+    adjacency[hi * words + lo / 64] |= std::uint64_t{1} << (lo % 64);
+  }
+  slot_ = std::move(slot);
+  adjacency_ = std::move(adjacency);
+  capacity_ = grown;
+  words_per_row_ = words;
 }
 
 void ConflictGraph::add_conflict(ir::BasicGroupId a, ir::BasicGroupId b, double weight) {
   DTSE_CHECK(a.valid() && b.valid(), "conflict endpoints must be valid groups");
   DTSE_CHECK(weight >= 0.0, "conflict weight must be non-negative");
-  weights_[make_key(a, b)] += weight;
+  auto lo = a.index();
+  auto hi = b.index();
+  if (hi < lo) std::swap(lo, hi);
+  ensure_capacity(hi + 1);
+  auto& slot = slot_[lo * capacity_ + hi];
+  if (slot < 0) {
+    slot = static_cast<std::int32_t>(edges_.size());
+    edges_.push_back({ir::BasicGroupId(static_cast<std::uint32_t>(lo)),
+                      ir::BasicGroupId(static_cast<std::uint32_t>(hi)), 0.0});
+    adjacency_[lo * words_per_row_ + hi / 64] |= std::uint64_t{1} << (hi % 64);
+    adjacency_[hi * words_per_row_ + lo / 64] |= std::uint64_t{1} << (lo % 64);
+  }
+  edges_[static_cast<std::size_t>(slot)].weight += weight;
 }
 
 void ConflictGraph::merge(const ConflictGraph& other) {
-  for (const auto& [key, weight] : other.weights_) weights_[key] += weight;
-}
-
-bool ConflictGraph::conflicts(ir::BasicGroupId a, ir::BasicGroupId b) const {
-  return weights_.count(make_key(a, b)) > 0;
-}
-
-double ConflictGraph::conflict_weight(ir::BasicGroupId a, ir::BasicGroupId b) const {
-  const auto it = weights_.find(make_key(a, b));
-  return it == weights_.end() ? 0.0 : it->second;
-}
-
-bool ConflictGraph::has_self_conflict(ir::BasicGroupId a) const {
-  return conflicts(a, a) && conflict_weight(a, a) > 0.0;
-}
-
-double ConflictGraph::self_conflict_weight(ir::BasicGroupId a) const {
-  return conflict_weight(a, a);
+  for (const auto& edge : other.edges_) add_conflict(edge.a, edge.b, edge.weight);
 }
 
 std::vector<ConflictGraph::Edge> ConflictGraph::edges() const {
-  std::vector<Edge> result;
-  result.reserve(weights_.size());
-  for (const auto& [key, weight] : weights_) {
-    result.push_back({key.first, key.second, weight});
-  }
+  std::vector<Edge> result = edges_;
+  std::sort(result.begin(), result.end(), edge_key_less);
   return result;
 }
 
 double ConflictGraph::total_weight() const {
   double total = 0.0;
-  for (const auto& [key, weight] : weights_) total += weight;
+  for (const auto& edge : edges_) total += edge.weight;
   return total;
 }
 
 int ConflictGraph::clique_lower_bound() const {
-  // Collect the distinct vertices with at least one pairwise conflict.
-  std::set<ir::BasicGroupId> vertices;
-  for (const auto& [key, weight] : weights_) {
-    if (key.first != key.second && weight > 0.0) {
-      vertices.insert(key.first);
-      vertices.insert(key.second);
+  // Collect the distinct vertices with at least one pairwise conflict, in
+  // ascending id order (the greedy growth below is order-sensitive and must
+  // stay deterministic).
+  std::vector<ir::BasicGroupId> vertices;
+  for (const auto& edge : edges_) {
+    if (edge.a != edge.b && edge.weight > 0.0) {
+      vertices.push_back(edge.a);
+      vertices.push_back(edge.b);
     }
   }
+  std::sort(vertices.begin(), vertices.end());
+  vertices.erase(std::unique(vertices.begin(), vertices.end()), vertices.end());
+
   // Greedy clique growth from every vertex, keep the best.  Exact maximum
   // clique is NP-hard; for conflict graphs of a couple dozen groups the
   // greedy bound is tight enough to seed the allocation search.
@@ -74,8 +95,7 @@ int ConflictGraph::clique_lower_bound() const {
       if (candidate == seed) continue;
       const bool adjacent_to_all =
           std::all_of(clique.begin(), clique.end(), [&](ir::BasicGroupId member) {
-            return member != candidate && conflicts(member, candidate) &&
-                   conflict_weight(member, candidate) > 0.0;
+            return member != candidate && conflict_weight(member, candidate) > 0.0;
           });
       if (adjacent_to_all) clique.push_back(candidate);
     }
@@ -86,13 +106,13 @@ int ConflictGraph::clique_lower_bound() const {
 
 std::string ConflictGraph::to_string() const {
   std::ostringstream os;
-  os << "conflict graph: " << weights_.size() << " edges, total weight " << total_weight()
+  os << "conflict graph: " << edges_.size() << " edges, total weight " << total_weight()
      << '\n';
-  for (const auto& [key, weight] : weights_) {
-    if (key.first == key.second) {
-      os << "  self " << key.first << " (w=" << weight << ")\n";
+  for (const auto& edge : edges()) {
+    if (edge.a == edge.b) {
+      os << "  self " << edge.a << " (w=" << edge.weight << ")\n";
     } else {
-      os << "  " << key.first << " -- " << key.second << " (w=" << weight << ")\n";
+      os << "  " << edge.a << " -- " << edge.b << " (w=" << edge.weight << ")\n";
     }
   }
   return os.str();

@@ -10,10 +10,16 @@
 // occurs per frame — heavier conflicts matter more to the assignment
 // heuristics.  This mirrors the conflict-graph output of flow-graph
 // balancing in [Wuytack et al., 1999] / [Slock et al., 1997].
+//
+// Storage layout: a flat edge store plus a dense slot matrix and per-node
+// adjacency bitsets, so `conflicts()` / `conflict_weight()` — the inner-loop
+// queries of the branch-and-bound assignment solver — are O(1).  The ordered
+// std::map semantics the first implementation had survive only where they
+// are observable: `edges()` and `to_string()` present edges sorted by
+// (a, b), independent of insertion order.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <utility>
 #include <vector>
@@ -37,14 +43,34 @@ class ConflictGraph {
   /// Merges all conflicts of `other` into this graph.
   void merge(const ConflictGraph& other);
 
-  [[nodiscard]] bool conflicts(ir::BasicGroupId a, ir::BasicGroupId b) const;
-  [[nodiscard]] double conflict_weight(ir::BasicGroupId a, ir::BasicGroupId b) const;
-  [[nodiscard]] bool has_self_conflict(ir::BasicGroupId a) const;
-  [[nodiscard]] double self_conflict_weight(ir::BasicGroupId a) const;
+  [[nodiscard]] bool conflicts(ir::BasicGroupId a, ir::BasicGroupId b) const {
+    auto lo = a.index();
+    auto hi = b.index();
+    if (hi < lo) std::swap(lo, hi);
+    return hi < capacity_ && (adjacency_[lo * words_per_row_ + hi / 64] >>
+                              (hi % 64)) & 1u;
+  }
 
-  /// All edges, self-conflicts included.
+  [[nodiscard]] double conflict_weight(ir::BasicGroupId a, ir::BasicGroupId b) const {
+    auto lo = a.index();
+    auto hi = b.index();
+    if (hi < lo) std::swap(lo, hi);
+    if (hi >= capacity_) return 0.0;
+    const auto slot = slot_[lo * capacity_ + hi];
+    return slot < 0 ? 0.0 : edges_[static_cast<std::size_t>(slot)].weight;
+  }
+
+  [[nodiscard]] bool has_self_conflict(ir::BasicGroupId a) const {
+    return conflict_weight(a, a) > 0.0;
+  }
+
+  [[nodiscard]] double self_conflict_weight(ir::BasicGroupId a) const {
+    return conflict_weight(a, a);
+  }
+
+  /// All edges, self-conflicts included, sorted by (a, b).
   [[nodiscard]] std::vector<Edge> edges() const;
-  [[nodiscard]] std::size_t edge_count() const { return weights_.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return edges_.size(); }
   [[nodiscard]] double total_weight() const;
 
   /// Greedy clique heuristic: a lower bound on the number of single-port
@@ -55,10 +81,14 @@ class ConflictGraph {
   [[nodiscard]] std::string to_string() const;
 
  private:
-  using Key = std::pair<ir::BasicGroupId, ir::BasicGroupId>;
-  static Key make_key(ir::BasicGroupId a, ir::BasicGroupId b);
+  /// Grows the slot matrix and adjacency bitsets to cover node ids < `nodes`.
+  void ensure_capacity(std::size_t nodes);
 
-  std::map<Key, double> weights_;
+  std::vector<Edge> edges_;            ///< insertion order; queries index into it
+  std::vector<std::int32_t> slot_;     ///< capacity_^2 dense (lo, hi) -> edge index
+  std::vector<std::uint64_t> adjacency_;  ///< capacity_ rows of words_per_row_ words
+  std::size_t capacity_ = 0;
+  std::size_t words_per_row_ = 0;
 };
 
 }  // namespace dtse::graph

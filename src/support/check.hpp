@@ -57,3 +57,17 @@ namespace detail {
     if (!(cond)) ::dtse::support::detail::raise_internal(#cond, __FILE__, __LINE__, \
                                                          (msg));                    \
   } while (false)
+
+// Debug-level contract check for per-access hot paths (instrumented array
+// reads/writes, bitstream I/O).  Identical to DTSE_CHECK in Debug builds; in
+// Release (NDEBUG) it compiles to nothing so the wrappers approach raw
+// std::vector speed.  Defining DTSE_ENABLE_CHECKS re-arms it regardless of
+// build type — the test targets do this so bounds violations keep surfacing
+// as ContractError even in optimized CI builds.
+#if !defined(NDEBUG) || defined(DTSE_ENABLE_CHECKS)
+#define DTSE_DCHECK(cond, msg) DTSE_CHECK(cond, msg)
+#else
+#define DTSE_DCHECK(cond, msg) \
+  do {                         \
+  } while (false)
+#endif

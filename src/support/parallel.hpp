@@ -1,0 +1,65 @@
+// A minimal fork-join parallel loop for the exploration sweeps.
+//
+// `parallel_for(n, parallelism, fn)` calls `fn(i)` for every i in [0, n)
+// from a small pool of worker threads pulling indices off a shared atomic
+// counter.  Callers write results into pre-sized slots indexed by i, so the
+// output is bit-identical to a serial loop no matter how the indices
+// interleave — determinism is a property of the paper's feedback oracle and
+// must survive parallel evaluation.
+//
+// The first exception thrown by any fn() is captured and rethrown on the
+// calling thread after all workers joined; later exceptions are dropped.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dtse::support {
+
+/// Resolves a parallelism request: 0 means "use the hardware", anything else
+/// is taken literally (oversubscription included — useful for tests).
+[[nodiscard]] inline unsigned effective_parallelism(unsigned requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw != 0 ? hw : 1;
+}
+
+template <typename Fn>
+void parallel_for(std::size_t n, unsigned parallelism, Fn&& fn) {
+  if (n == 0) return;
+  const std::size_t workers =
+      std::min<std::size_t>(effective_parallelism(parallelism), n);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  auto drain = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (std::size_t t = 1; t < workers; ++t) threads.emplace_back(drain);
+  drain();  // the calling thread is worker 0
+  for (auto& thread : threads) thread.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace dtse::support

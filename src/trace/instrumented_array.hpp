@@ -4,6 +4,14 @@
 // through these wrappers.  When no recorder is attached the wrappers are a
 // plain vector with bounds checks, so the same codec implementation serves
 // both production use and profiling runs.
+//
+// The read/write hot path is deliberately flat: bounds checks are
+// `DTSE_DCHECK` (compiled out in Release, re-armed in tests), the
+// "not recording" decision is one branch-predictable null test, and the
+// recorder's aggregation slots are pre-resolved at registration time so a
+// recorded access is a single inlined `record_slot` call with no key
+// computation.  Uninstrumented Release-mode accesses therefore approach raw
+// `std::vector` indexing speed.
 #pragma once
 
 #include <cstdint>
@@ -31,6 +39,8 @@ class InstrumentedArray {
     id_ = recorder.register_array(std::move(name),
                                   declared_words ? declared_words : size, bitwidth,
                                   forced_location);
+    slot_read_ = Recorder::slot_of(id_, ir::AccessKind::kRead);
+    slot_write_ = Recorder::slot_of(id_, ir::AccessKind::kWrite);
   }
 
   [[nodiscard]] std::size_t size() const { return data_.size(); }
@@ -38,17 +48,17 @@ class InstrumentedArray {
   [[nodiscard]] ArrayId id() const { return id_; }
 
   [[nodiscard]] T read(std::size_t index) const {
-    DTSE_CHECK(index < data_.size(), "read out of bounds on " + name_);
+    DTSE_DCHECK(index < data_.size(), "read out of bounds on " + name_);
     if (recorder_ != nullptr && recorder_->in_iteration()) {
-      recorder_->record(id_, index, ir::AccessKind::kRead);
+      recorder_->record_slot(slot_read_, index);
     }
     return data_[index];
   }
 
   void write(std::size_t index, T value) {
-    DTSE_CHECK(index < data_.size(), "write out of bounds on " + name_);
+    DTSE_DCHECK(index < data_.size(), "write out of bounds on " + name_);
     if (recorder_ != nullptr && recorder_->in_iteration()) {
-      recorder_->record(id_, index, ir::AccessKind::kWrite);
+      recorder_->record_slot(slot_write_, index);
     }
     data_[index] = value;
   }
@@ -62,6 +72,8 @@ class InstrumentedArray {
   std::vector<T> data_;
   Recorder* recorder_ = nullptr;
   ArrayId id_ = 0;
+  std::uint32_t slot_read_ = 0;
+  std::uint32_t slot_write_ = 0;
 };
 
 /// Row-major 2-D view over an InstrumentedArray.
@@ -83,14 +95,14 @@ class InstrumentedArray2D {
   [[nodiscard]] int height() const { return height_; }
 
   [[nodiscard]] T read(int x, int y) const {
-    DTSE_CHECK(x >= 0 && x < width_ && y >= 0 && y < height_,
-               "2D read out of bounds on " + array_.name());
+    DTSE_DCHECK(x >= 0 && x < width_ && y >= 0 && y < height_,
+                "2D read out of bounds on " + array_.name());
     return array_.read(static_cast<std::size_t>(y) * width_ + x);
   }
 
   void write(int x, int y, T value) {
-    DTSE_CHECK(x >= 0 && x < width_ && y >= 0 && y < height_,
-               "2D write out of bounds on " + array_.name());
+    DTSE_DCHECK(x >= 0 && x < width_ && y >= 0 && y < height_,
+                "2D write out of bounds on " + array_.name());
     array_.write(static_cast<std::size_t>(y) * width_ + x, value);
   }
 

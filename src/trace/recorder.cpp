@@ -7,6 +7,15 @@
 
 namespace dtse::trace {
 
+namespace {
+
+constexpr ArrayId array_of(std::uint32_t slot) { return slot >> 1; }
+constexpr ir::AccessKind kind_of(std::uint32_t slot) {
+  return static_cast<ir::AccessKind>(slot & 1u);
+}
+
+}  // namespace
+
 Recorder::Recorder(std::string application_name) : app_name_(std::move(application_name)) {}
 
 ArrayId Recorder::register_array(std::string name, std::uint64_t words, int bitwidth,
@@ -64,18 +73,6 @@ void Recorder::begin_iteration(std::string_view body_name) {
   pending_.clear();
 }
 
-void Recorder::record(ArrayId array, std::uint64_t index, ir::AccessKind kind) {
-  DTSE_CHECK(array < arrays_.size(), "unknown array");
-  DTSE_CHECK(current_body_ >= 0, "record() outside of an Iteration scope");
-  pending_.push_back({array, index, kind});
-  ++total_events_;
-  // Reuse simulation tracks read locality only: copies into a hierarchy
-  // layer serve reads, writes go to the backing store anyway.
-  if (kind == ir::AccessKind::kRead) {
-    for (auto& sim : arrays_[array].reuse) sim.touch(index);
-  }
-}
-
 void Recorder::LruSim::touch(std::uint64_t index) {
   const auto it = where.find(index);
   if (it != where.end()) {
@@ -100,12 +97,33 @@ void Recorder::end_iteration() {
   pending_.clear();
 }
 
+void Recorder::grow_body_state(BodyInfo& body, std::size_t arrays) {
+  body.accesses.resize(2 * arrays);
+  if (body.co_arrays == arrays) return;
+  // Remap the dense co-access matrix to the new array count (arrays can be
+  // registered between iterations of an already-seen body).
+  std::vector<std::uint64_t> grown(2 * arrays * arrays, 0);
+  const std::size_t old_n = body.co_arrays;
+  for (std::size_t kind = 0; kind < 2; ++kind) {
+    for (std::size_t lo = 0; lo < old_n; ++lo) {
+      for (std::size_t hi = lo + 1; hi < old_n; ++hi) {
+        grown[(kind * arrays + lo) * arrays + hi] =
+            body.co_access[(kind * old_n + lo) * old_n + hi];
+      }
+    }
+  }
+  body.co_access = std::move(grown);
+  body.co_arrays = arrays;
+}
+
 void Recorder::aggregate_iteration() {
   auto& body = bodies_[static_cast<std::size_t>(current_body_)];
   ++body.iterations;
+  const std::size_t n = arrays_.size();
+  if (body.accesses.size() != 2 * n || body.co_arrays != n) grow_body_state(body, n);
 
   for (const auto& event : pending_) {
-    auto& agg = body.accesses[{event.array, event.kind}];
+    auto& agg = body.accesses[event.slot];
     if (agg.has_last && event.index > agg.last_index) {
       const std::uint64_t delta = event.index - agg.last_index;
       if (delta == 1) ++agg.stride1;
@@ -124,35 +142,40 @@ void Recorder::aggregate_iteration() {
     for (std::size_t j = i + 1; j < pending_.size(); ++j) {
       const auto& a = pending_[i];
       const auto& b = pending_[j];
-      if (a.kind != b.kind || a.array == b.array || a.index != b.index) continue;
-      const auto lo = std::min(a.array, b.array);
-      const auto hi = std::max(a.array, b.array);
-      ++body.co_access[{a.kind, lo, hi}];
+      if (a.index != b.index || ((a.slot ^ b.slot) & 1u) != 0) continue;
+      const ArrayId array_a = array_of(a.slot);
+      const ArrayId array_b = array_of(b.slot);
+      if (array_a == array_b) continue;
+      const std::size_t kind = a.slot & 1u;
+      const std::size_t lo = std::min(array_a, array_b);
+      const std::size_t hi = std::max(array_a, array_b);
+      ++body.co_access[(kind * n + lo) * n + hi];
     }
   }
 
   // Dependency skeleton, captured once from the first iteration.  Because
-  // accesses aggregate into one node per (array, kind), edges must follow a
-  // single total order or they could form cycles; we use the first
-  // occurrence of each node within the iteration.  A read gates every write
-  // first seen later (values flow from inputs through the datapath to
-  // outputs) and same-array accesses stay ordered (flow through memory).
+  // accesses aggregate into one node per slot, edges must follow a single
+  // total order or they could form cycles; we use the first occurrence of
+  // each slot within the iteration.  A read gates every write first seen
+  // later (values flow from inputs through the datapath to outputs) and
+  // same-array accesses stay ordered (flow through memory).
   if (!body.deps_captured) {
     body.deps_captured = true;
-    std::vector<std::pair<ArrayId, ir::AccessKind>> first_seen;
+    std::vector<std::uint8_t> seen(2 * n, 0);
+    std::vector<std::uint32_t> first_seen;
     for (const auto& event : pending_) {
-      const auto key = std::make_pair(event.array, event.kind);
-      if (std::find(first_seen.begin(), first_seen.end(), key) == first_seen.end()) {
-        first_seen.push_back(key);
+      if (seen[event.slot] == 0) {
+        seen[event.slot] = 1;
+        first_seen.push_back(event.slot);
       }
     }
     for (std::size_t i = 0; i < first_seen.size(); ++i) {
       for (std::size_t j = i + 1; j < first_seen.size(); ++j) {
-        const auto& from = first_seen[i];
-        const auto& to = first_seen[j];
-        const bool read_to_write =
-            from.second == ir::AccessKind::kRead && to.second == ir::AccessKind::kWrite;
-        const bool same_array = from.first == to.first;
+        const auto from = first_seen[i];
+        const auto to = first_seen[j];
+        const bool read_to_write = kind_of(from) == ir::AccessKind::kRead &&
+                                   kind_of(to) == ir::AccessKind::kWrite;
+        const bool same_array = array_of(from) == array_of(to);
         if (read_to_write || same_array) body.deps.emplace_back(from, to);
       }
     }
@@ -174,6 +197,7 @@ ir::Application Recorder::build(double scale) const {
     group_of[i] = app.add_group(std::move(group));
   }
 
+  constexpr auto kNoAccess = ~std::size_t{0};
   for (const auto& body : bodies_) {
     if (body.iterations == 0) continue;
     ir::LoopBody ir_body;
@@ -182,42 +206,48 @@ ir::Application Recorder::build(double scale) const {
         static_cast<double>(body.iterations) * scale));
     if (ir_body.iterations == 0) ir_body.iterations = 1;
 
-    std::map<std::pair<ArrayId, ir::AccessKind>, std::size_t> access_index;
+    // Slot order is (array asc, read-before-write), matching the ordered-map
+    // extraction the flat layout replaced; downstream tables rely on it.
+    std::vector<std::size_t> access_index(body.accesses.size(), kNoAccess);
     const double iters = static_cast<double>(body.iterations);
-    for (const auto& [key, agg] : body.accesses) {
+    for (std::size_t slot = 0; slot < body.accesses.size(); ++slot) {
+      const auto& agg = body.accesses[slot];
+      if (agg.count == 0) continue;
       ir::Access access;
-      access.group = group_of[key.first];
-      access.kind = key.second;
+      access.group = group_of[array_of(static_cast<std::uint32_t>(slot))];
+      access.kind = kind_of(static_cast<std::uint32_t>(slot));
       access.per_iteration = static_cast<double>(agg.count) / iters;
       access.stride1_fraction =
-          agg.count > 0 ? static_cast<double>(agg.stride1) / static_cast<double>(agg.count)
-                        : 0.0;
+          static_cast<double>(agg.stride1) / static_cast<double>(agg.count);
       access.dense_fraction =
-          agg.count > 0 ? static_cast<double>(agg.dense) / static_cast<double>(agg.count)
-                        : 0.0;
+          static_cast<double>(agg.dense) / static_cast<double>(agg.count);
       access.dense_stride =
           agg.dense > 0
               ? static_cast<double>(agg.dense_delta) / static_cast<double>(agg.dense)
               : 1.0;
-      access_index[key] = ir_body.accesses.size();
+      access_index[slot] = ir_body.accesses.size();
       ir_body.accesses.push_back(access);
     }
 
-    for (const auto& [key, pairs] : body.co_access) {
-      const auto& [kind, lo, hi] = key;
-      const auto a = access_index.find({lo, kind});
-      const auto b = access_index.find({hi, kind});
-      DTSE_ASSERT(a != access_index.end() && b != access_index.end(),
-                  "co-access over unknown accesses");
-      ir_body.co_accesses.push_back(
-          {a->second, b->second, static_cast<double>(pairs) / iters});
+    const std::size_t n = body.co_arrays;
+    for (std::size_t kind = 0; kind < 2; ++kind) {
+      for (std::size_t lo = 0; lo < n; ++lo) {
+        for (std::size_t hi = lo + 1; hi < n; ++hi) {
+          const auto pairs = body.co_access[(kind * n + lo) * n + hi];
+          if (pairs == 0) continue;
+          const auto a = access_index[2 * lo + kind];
+          const auto b = access_index[2 * hi + kind];
+          DTSE_ASSERT(a != kNoAccess && b != kNoAccess, "co-access over unknown accesses");
+          ir_body.co_accesses.push_back({a, b, static_cast<double>(pairs) / iters});
+        }
+      }
     }
 
     for (const auto& [from, to] : body.deps) {
-      const auto a = access_index.find(from);
-      const auto b = access_index.find(to);
-      if (a == access_index.end() || b == access_index.end()) continue;
-      ir_body.deps.emplace_back(a->second, b->second);
+      const auto a = access_index[from];
+      const auto b = access_index[to];
+      if (a == kNoAccess || b == kNoAccess) continue;
+      ir_body.deps.emplace_back(a, b);
     }
     app.add_body(std::move(ir_body));
   }

@@ -15,6 +15,12 @@
 // and per array an LRU working-set simulation at configurable capacities
 // (the data-reuse input of the memory hierarchy decision).
 //
+// All aggregation state is flat and slot-indexed: a *slot* is
+// `array * 2 + kind`, so per-(array, kind) statistics live in plain vectors
+// and co-access counts in a dense matrix — no tree lookups on the per-access
+// or per-iteration paths.  `record_slot` is the inlined fast path used by
+// `InstrumentedArray`, which pre-resolves its slots at registration time.
+//
 // `build()` converts everything into an ir::Application.  Profiling runs on
 // a scaled-down input can be extrapolated with the `scale` parameter, which
 // multiplies iteration counts and reuse misses but keeps per-iteration
@@ -32,6 +38,7 @@
 #include <vector>
 
 #include "ir/application.hpp"
+#include "support/check.hpp"
 
 namespace dtse::trace {
 
@@ -61,9 +68,38 @@ class Recorder {
   void set_reuse_windows(ArrayId array, const std::vector<std::uint64_t>& window_words);
 
   // --- recording (called by InstrumentedArray / Iteration) -----------------
+  /// Aggregation slot of an (array, kind) pair; the unit all flat per-body
+  /// state is indexed by.
+  [[nodiscard]] static constexpr std::uint32_t slot_of(ArrayId array,
+                                                       ir::AccessKind kind) {
+    return array * 2u + static_cast<std::uint32_t>(kind);
+  }
+
   void begin_iteration(std::string_view body_name);
   void end_iteration();
-  void record(ArrayId array, std::uint64_t index, ir::AccessKind kind);
+
+  /// Checked general-purpose recording entry point.
+  void record(ArrayId array, std::uint64_t index, ir::AccessKind kind) {
+    DTSE_CHECK(array < arrays_.size(), "unknown array");
+    DTSE_CHECK(current_body_ >= 0, "record() outside of an Iteration scope");
+    record_slot(slot_of(array, kind), index);
+  }
+
+  /// Fast path for callers that pre-resolved their slot (InstrumentedArray)
+  /// and already know an iteration is active.
+  void record_slot(std::uint32_t slot, std::uint64_t index) {
+    DTSE_DCHECK(slot < 2 * arrays_.size(), "unknown aggregation slot");
+    DTSE_DCHECK(current_body_ >= 0, "record_slot() outside of an Iteration scope");
+    pending_.push_back({slot, index});
+    ++total_events_;
+    // Reuse simulation tracks read locality only: copies into a hierarchy
+    // layer serve reads, writes go to the backing store anyway.
+    if ((slot & 1u) == static_cast<std::uint32_t>(ir::AccessKind::kRead)) {
+      auto& reuse = arrays_[slot >> 1].reuse;
+      for (auto& sim : reuse) sim.touch(index);
+    }
+  }
+
   [[nodiscard]] bool in_iteration() const { return current_body_ >= 0; }
 
   // --- extraction -----------------------------------------------------------
@@ -92,7 +128,7 @@ class Recorder {
     std::vector<LruSim> reuse;
   };
 
-  /// Aggregated per-(array, kind) statistics within one loop body.
+  /// Aggregated per-slot statistics within one loop body.
   struct AccessAgg {
     std::uint64_t count = 0;
     std::uint64_t stride1 = 0;      ///< successor at distance exactly 1
@@ -103,24 +139,27 @@ class Recorder {
   };
 
   struct PendingEvent {
-    ArrayId array;
+    std::uint32_t slot;
     std::uint64_t index;
-    ir::AccessKind kind;
   };
 
   struct BodyInfo {
     std::string name;
     std::uint64_t iterations = 0;
-    std::map<std::pair<ArrayId, ir::AccessKind>, AccessAgg> accesses;
-    /// (kind, array_a, array_b) -> same-index pair count, array_a < array_b.
-    std::map<std::tuple<ir::AccessKind, ArrayId, ArrayId>, std::uint64_t> co_access;
-    /// Dependency skeleton over (array, kind) keys, from first iteration.
-    std::vector<std::pair<std::pair<ArrayId, ir::AccessKind>,
-                          std::pair<ArrayId, ir::AccessKind>>> deps;
+    /// Slot-indexed aggregation, sized 2 * arrays (grown on demand).
+    std::vector<AccessAgg> accesses;
+    /// Dense same-index co-access counts: kind * n * n + lo * n + hi with
+    /// lo < hi, where n is `co_arrays` (the array count the matrix was last
+    /// sized for; regrown and remapped when arrays are registered later).
+    std::vector<std::uint64_t> co_access;
+    std::size_t co_arrays = 0;
+    /// Dependency skeleton over slots, from the first iteration.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> deps;
     bool deps_captured = false;
   };
 
   void aggregate_iteration();
+  static void grow_body_state(BodyInfo& body, std::size_t arrays);
 
   std::string app_name_;
   std::vector<ArrayInfo> arrays_;

@@ -54,6 +54,56 @@ TEST(Bitstream, RejectsOversizedValues) {
   EXPECT_THROW(writer.put(0, 30), support::ContractError);
 }
 
+TEST(Bitstream, TwentyFourBitPutIgnoresHighGarbageBits) {
+  // The historical contract exempts count == 24 from the fits-in-count
+  // check; bits above the width must not leak into the stream.
+  BitWriter dirty;
+  dirty.put(1, 1);
+  dirty.put(0xFF00'0000u | 0x123456u, 24);
+  BitWriter clean;
+  clean.put(1, 1);
+  clean.put(0x123456u, 24);
+  EXPECT_EQ(dirty.finish(), clean.finish());
+}
+
+TEST(Bitstream, WideReadsStraddleWordBoundaries) {
+  // For every read width 1..32, shift the stream by a prefix of 1..15 bits so
+  // the wide read starts mid-word and crosses one or two word boundaries.
+  for (int width = 1; width <= 32; ++width) {
+    for (int prefix = 1; prefix <= 15; ++prefix) {
+      const auto value =
+          static_cast<std::uint32_t>((0xDEADBEEFCAFEULL >> width) &
+                                     (width == 32 ? ~0u : (1u << width) - 1u));
+      BitWriter writer;
+      writer.put((1u << prefix) - 1u, prefix);
+      // The writer accepts at most 24 bits per put; split wide values.
+      if (width > 16) {
+        writer.put(value >> 16, width - 16);
+        writer.put(value & 0xFFFFu, 16);
+      } else {
+        writer.put(value, width);
+      }
+      writer.put(0b101, 3);
+      const auto words = writer.finish();
+      BitReader reader(words);
+      ASSERT_EQ(reader.get(prefix), (1u << prefix) - 1u);
+      ASSERT_EQ(reader.get(width), value) << "width " << width << " prefix " << prefix;
+      ASSERT_EQ(reader.get(3), 0b101u);
+      ASSERT_EQ(reader.bits_read(), static_cast<std::uint64_t>(prefix) + width + 3);
+    }
+  }
+}
+
+TEST(Bitstream, Full32BitReadRoundTrips) {
+  BitWriter writer;
+  writer.put(0xABCD'E, 20);
+  writer.put(0xF012, 16);  // together: 0xABCDEF012 = 36 bits
+  const auto words = writer.finish();
+  BitReader reader(words);
+  EXPECT_EQ(reader.get(32), 0xABCDEF01u);
+  EXPECT_EQ(reader.get(4), 0x2u);
+}
+
 class BitstreamFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(BitstreamFuzz, RandomSequencesRoundTrip) {

@@ -44,6 +44,63 @@ TEST(Explorer, EvaluateIsDeterministic) {
   EXPECT_DOUBLE_EQ(a.summary.offchip_power_mw, b.summary.offchip_power_mw);
 }
 
+TEST(Explorer, ParallelSweepsMatchSerialBitForBit) {
+  const auto explorer = make_explorer();
+  ExplorerOptions serial;
+  serial.parallelism = 1;
+  ExplorerOptions parallel = serial;
+  parallel.parallelism = 4;  // oversubscribed on small hosts, which is fine
+
+  const std::vector<std::uint64_t> budgets = {20'000'000, 14'000'000, 11'000'000,
+                                              9'000'000};
+  const auto serial_points = explorer.explore_cycle_budgets(small_profile(), budgets, serial);
+  const auto parallel_points =
+      explorer.explore_cycle_budgets(small_profile(), budgets, parallel);
+  ASSERT_EQ(serial_points.size(), parallel_points.size());
+  for (std::size_t i = 0; i < serial_points.size(); ++i) {
+    EXPECT_EQ(serial_points[i].requested_budget, parallel_points[i].requested_budget);
+    EXPECT_EQ(serial_points[i].used_cycles, parallel_points[i].used_cycles);
+    EXPECT_EQ(serial_points[i].spare_cycles, parallel_points[i].spare_cycles);
+    EXPECT_DOUBLE_EQ(serial_points[i].eval.summary.onchip_area_mm2,
+                     parallel_points[i].eval.summary.onchip_area_mm2);
+    EXPECT_DOUBLE_EQ(serial_points[i].eval.summary.onchip_power_mw,
+                     parallel_points[i].eval.summary.onchip_power_mw);
+    EXPECT_DOUBLE_EQ(serial_points[i].eval.summary.offchip_power_mw,
+                     parallel_points[i].eval.summary.offchip_power_mw);
+  }
+
+  auto label_variants = [&] {
+    std::vector<std::pair<std::string, ir::Application>> variants;
+    variants.emplace_back("base", small_profile());
+    variants.emplace_back("copy", small_profile());
+    variants.emplace_back("third", small_profile());
+    return variants;
+  };
+  const auto serial_variants = explorer.explore_variants(label_variants(), serial);
+  const auto parallel_variants = explorer.explore_variants(label_variants(), parallel);
+  ASSERT_EQ(serial_variants.size(), parallel_variants.size());
+  for (std::size_t i = 0; i < serial_variants.size(); ++i) {
+    EXPECT_EQ(serial_variants[i].label, parallel_variants[i].label);
+    EXPECT_DOUBLE_EQ(serial_variants[i].eval.summary.onchip_area_mm2,
+                     parallel_variants[i].eval.summary.onchip_area_mm2);
+    EXPECT_DOUBLE_EQ(serial_variants[i].eval.summary.onchip_power_mw,
+                     parallel_variants[i].eval.summary.onchip_power_mw);
+    EXPECT_DOUBLE_EQ(serial_variants[i].eval.summary.offchip_power_mw,
+                     parallel_variants[i].eval.summary.offchip_power_mw);
+  }
+
+  const auto serial_counts =
+      explorer.explore_allocation_counts(small_profile(), {4, 6, 8}, serial);
+  const auto parallel_counts =
+      explorer.explore_allocation_counts(small_profile(), {4, 6, 8}, parallel);
+  ASSERT_EQ(serial_counts.size(), parallel_counts.size());
+  for (std::size_t i = 0; i < serial_counts.size(); ++i) {
+    EXPECT_EQ(serial_counts[i].label, parallel_counts[i].label);
+    EXPECT_DOUBLE_EQ(serial_counts[i].eval.summary.onchip_area_mm2,
+                     parallel_counts[i].eval.summary.onchip_area_mm2);
+  }
+}
+
 TEST(Explorer, StorageBudgetCannotExceedRealTime) {
   const auto explorer = make_explorer();
   ExplorerOptions options;

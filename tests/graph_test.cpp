@@ -122,6 +122,70 @@ TEST(ConflictGraph, ZeroWeightEdgesDoNotCount) {
   EXPECT_EQ(g.clique_lower_bound(), 0);
 }
 
+TEST(ConflictGraph, EdgesAreSortedRegardlessOfInsertionOrder) {
+  // The flat edge store appends in arrival order; edges() must present the
+  // ordered-map view the first implementation had.
+  ConflictGraph g;
+  g.add_conflict(ir::BasicGroupId(7), ir::BasicGroupId(2), 1.0);
+  g.add_conflict(ir::BasicGroupId(0), ir::BasicGroupId(5), 2.0);
+  g.add_conflict(ir::BasicGroupId(3), ir::BasicGroupId(3), 3.0);
+  g.add_conflict(ir::BasicGroupId(0), ir::BasicGroupId(1), 4.0);
+  const auto edges = g.edges();
+  ASSERT_EQ(edges.size(), 4u);
+  for (std::size_t i = 0; i + 1 < edges.size(); ++i) {
+    const bool ordered = edges[i].a < edges[i + 1].a ||
+                         (edges[i].a == edges[i + 1].a && edges[i].b < edges[i + 1].b);
+    EXPECT_TRUE(ordered) << "edges()[" << i << "] out of order";
+  }
+  EXPECT_EQ(edges[0].a, ir::BasicGroupId(0));
+  EXPECT_EQ(edges[0].b, ir::BasicGroupId(1));
+  EXPECT_EQ(edges[3].a, ir::BasicGroupId(3));
+  EXPECT_EQ(edges[3].b, ir::BasicGroupId(3));
+  // Endpoints stay normalized: a < b for pairs, even when inserted reversed.
+  EXPECT_EQ(edges[2].a, ir::BasicGroupId(2));
+  EXPECT_EQ(edges[2].b, ir::BasicGroupId(7));
+  EXPECT_DOUBLE_EQ(edges[2].weight, 1.0);
+}
+
+TEST(ConflictGraph, MergeAccumulatesSelfConflictsAndCliques) {
+  // merge + clique_lower_bound + self-conflict queries together against the
+  // indexed backing store: a triangle {0,1,2} split across two graphs plus a
+  // self-conflict merged on top of an existing pairwise edge set.
+  ConflictGraph g1, g2;
+  const ir::BasicGroupId a(0), b(1), c(2);
+  g1.add_conflict(a, b, 1.0);
+  g1.add_conflict(b, c, 1.0);
+  g2.add_conflict(a, c, 2.0);
+  g2.add_conflict(b, b, 0.5);
+  g2.add_conflict(a, b, 3.0);
+  g1.merge(g2);
+  EXPECT_EQ(g1.clique_lower_bound(), 3);
+  EXPECT_DOUBLE_EQ(g1.conflict_weight(a, b), 4.0);
+  EXPECT_TRUE(g1.has_self_conflict(b));
+  EXPECT_FALSE(g1.has_self_conflict(a));
+  EXPECT_DOUBLE_EQ(g1.self_conflict_weight(b), 0.5);
+  EXPECT_EQ(g1.edge_count(), 4u);
+  EXPECT_DOUBLE_EQ(g1.total_weight(), 7.5);
+  // Self-conflicts do not count toward the pairwise clique bound.
+  ConflictGraph selfs;
+  selfs.add_conflict(a, a, 9.0);
+  EXPECT_EQ(selfs.clique_lower_bound(), 0);
+}
+
+TEST(ConflictGraph, QueriesOnUnseenIdsAreCleanMisses) {
+  ConflictGraph g;
+  g.add_conflict(ir::BasicGroupId(1), ir::BasicGroupId(2), 1.0);
+  // Ids beyond anything the backing store has seen must read as absent, not
+  // out-of-bounds.
+  EXPECT_FALSE(g.conflicts(ir::BasicGroupId(40), ir::BasicGroupId(41)));
+  EXPECT_DOUBLE_EQ(g.conflict_weight(ir::BasicGroupId(40), ir::BasicGroupId(2)), 0.0);
+  EXPECT_FALSE(g.has_self_conflict(ir::BasicGroupId(40)));
+  // And a later high-id edge regrows the store without disturbing old edges.
+  g.add_conflict(ir::BasicGroupId(40), ir::BasicGroupId(2), 2.5);
+  EXPECT_DOUBLE_EQ(g.conflict_weight(ir::BasicGroupId(2), ir::BasicGroupId(40)), 2.5);
+  EXPECT_TRUE(g.conflicts(ir::BasicGroupId(1), ir::BasicGroupId(2)));
+}
+
 TEST(ConflictGraph, RejectsNegativeWeightAndInvalidIds) {
   ConflictGraph g;
   EXPECT_THROW(g.add_conflict(ir::BasicGroupId(0), ir::BasicGroupId(1), -1.0),
