@@ -96,6 +96,47 @@ void BM_AssignmentBranchAndBound(benchmark::State& state) {
 }
 BENCHMARK(BM_AssignmentBranchAndBound)->Arg(5)->Arg(8)->Arg(12);
 
+// The annealing hot loop: moves evaluated (and accepted) per second, with
+// the incremental cost engine against the full-recost baseline.  Both modes
+// are bit-identical in results (same seed => same trajectory => same final
+// cost, reported as the final_cost counter); only the per-move cost differs.
+// The acceptance bar for the incremental engine is >=5x the baseline's
+// accepted moves/sec at equal solution quality.
+void annealing_moves(benchmark::State& state, bool incremental) {
+  const auto& app = demo_app();
+  const auto scbd_result = scbd::distribute_budget(app, {});
+  memlib::MemoryLibrary library;
+  alloc::MemoryAllocator allocator{library};
+  const auto [onchip, offchip] = allocator.partition_groups(app, {});
+  const alloc::AssignmentProblem problem(app, onchip, scbd_result.conflicts, library,
+                                         20'000'000);
+  alloc::SolverOptions options;
+  options.solver = alloc::Solver::kSimulatedAnnealing;
+  options.sa_incremental = incremental;
+  options.sa_chains = 1;
+  options.sa_iterations = 20'000;
+  std::uint64_t moves = 0;
+  std::uint64_t accepted = 0;
+  double final_cost = 0.0;
+  for (auto _ : state) {
+    const auto solution =
+        alloc::solve_assignment(problem, static_cast<int>(state.range(0)), options);
+    moves += solution.nodes_explored;
+    accepted += solution.accepted_moves;
+    final_cost = solution.scalar_cost;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(moves));
+  state.counters["accepted/s"] = benchmark::Counter(static_cast<double>(accepted),
+                                                    benchmark::Counter::kIsRate);
+  state.counters["final_cost"] = final_cost;
+}
+
+void BM_AnnealingFullRecost(benchmark::State& state) { annealing_moves(state, false); }
+BENCHMARK(BM_AnnealingFullRecost)->Arg(8)->Arg(12)->Unit(benchmark::kMillisecond);
+
+void BM_AnnealingIncremental(benchmark::State& state) { annealing_moves(state, true); }
+BENCHMARK(BM_AnnealingIncremental)->Arg(8)->Arg(12)->Unit(benchmark::kMillisecond);
+
 void BM_FullFeedbackEvaluation(benchmark::State& state) {
   const auto& app = demo_app();
   core::Explorer explorer{memlib::MemoryLibrary{}};

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Records one benchmark trajectory point, per the bench/README.md
+# methodology: builds perf_microbench in Release and snapshots its JSON
+# output into bench/BENCH_YYYYMMDD.json.  The nightly CI job runs this and
+# uploads the file as an artifact; run it locally and commit the file to pin
+# a before/after reference next to a perf-relevant change.
+#
+#   BUILD_DIR=build STAMP=20260729 scripts/record_bench.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+STAMP="${STAMP:-$(date +%Y%m%d)}"
+OUT="bench/BENCH_${STAMP}.json"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j --target perf_microbench
+"./${BUILD_DIR}/perf_microbench" --benchmark_format=json > "$OUT"
+echo "wrote $OUT"

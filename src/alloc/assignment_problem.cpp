@@ -19,6 +19,7 @@ AssignmentProblem::AssignmentProblem(const ir::Application& app,
   const std::size_t n = groups_.size();
   conflict_.assign(n, std::vector<bool>(n, false));
   self_conflict_.assign(n, false);
+  aggregates_.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     self_conflict_[i] = conflicts.has_self_conflict(groups_[i]);
     for (std::size_t j = i + 1; j < n; ++j) {
@@ -26,7 +27,23 @@ AssignmentProblem::AssignmentProblem(const ir::Application& app,
                      conflicts.conflict_weight(groups_[i], groups_[j]) > 0.0;
       conflict_[i][j] = conflict_[j][i] = c;
     }
+    const auto& group = app_->group(groups_[i]);
+    const auto totals = app_->totals(groups_[i]);
+    aggregates_[i] = {group.words, group.bitwidth, static_cast<std::uint64_t>(totals.reads),
+                      static_cast<std::uint64_t>(totals.writes)};
   }
+}
+
+AssignmentProblem::GroupAggregates AssignmentProblem::aggregate_members(
+    const std::vector<std::size_t>& members) const {
+  GroupAggregates sum;
+  for (const auto m : members) {
+    sum.words += aggregates_[m].words;
+    sum.width_bits = std::max(sum.width_bits, aggregates_[m].width_bits);
+    sum.reads += aggregates_[m].reads;
+    sum.writes += aggregates_[m].writes;
+  }
+  return sum;
 }
 
 bool AssignmentProblem::conflicting(std::size_t i, std::size_t j) const {
@@ -39,51 +56,75 @@ bool AssignmentProblem::self_conflicting(std::size_t i) const {
   return self_conflict_[i];
 }
 
+int AssignmentProblem::simultaneous_accesses(const std::vector<std::size_t>& members) const {
+  // The largest set of members that pairwise conflict, counting a
+  // self-conflicting member twice.  Member sets are small, so a greedy
+  // clique from each seed is effectively exact here.  This sits on the inner
+  // loop of every solver (each candidate memory costs one call), so the
+  // clique scratch lives on the stack for all realistic member counts.
+  constexpr std::size_t kInlineMembers = 32;
+  std::size_t inline_clique[kInlineMembers];
+  std::vector<std::size_t> heap_clique;
+  std::size_t* clique = inline_clique;
+  if (members.size() > kInlineMembers) {
+    heap_clique.resize(members.size());
+    clique = heap_clique.data();
+  }
+
+  int ports_needed = 1;
+  for (const auto seed : members) {
+    std::size_t clique_size = 0;
+    clique[clique_size++] = seed;
+    for (const auto candidate : members) {
+      if (candidate == seed) continue;
+      bool adjacent = true;
+      for (std::size_t i = 0; i < clique_size; ++i) {
+        if (clique[i] == candidate || !conflict_[clique[i]][candidate]) {
+          adjacent = false;
+          break;
+        }
+      }
+      if (adjacent) clique[clique_size++] = candidate;
+    }
+    int simultaneous = static_cast<int>(clique_size);
+    for (std::size_t i = 0; i < clique_size; ++i) {
+      if (self_conflict_[clique[i]]) ++simultaneous;
+    }
+    ports_needed = std::max(ports_needed, simultaneous);
+  }
+  return ports_needed;
+}
+
 std::optional<MemoryInstance> AssignmentProblem::build_memory(
     const std::vector<std::size_t>& members) const {
   if (members.empty()) return MemoryInstance{};
 
-  // Required simultaneous accesses: the largest set of members that pairwise
-  // conflict, counting a self-conflicting member twice.  Member sets are
-  // small, so a greedy clique from each seed is effectively exact here.
-  int ports_needed = 1;
-  for (const auto seed : members) {
-    std::vector<std::size_t> clique{seed};
-    for (const auto candidate : members) {
-      if (candidate == seed) continue;
-      const bool adjacent = std::all_of(clique.begin(), clique.end(), [&](std::size_t m) {
-        return m != candidate && conflict_[m][candidate];
-      });
-      if (adjacent) clique.push_back(candidate);
-    }
-    int simultaneous = static_cast<int>(clique.size());
-    for (const auto m : clique) {
-      if (self_conflict_[m]) ++simultaneous;
-    }
-    ports_needed = std::max(ports_needed, simultaneous);
-  }
+  const int ports_needed = simultaneous_accesses(members);
   if (ports_needed > 2) return std::nullopt;  // no tri-ported generator blocks
 
   MemoryInstance mem;
   mem.ports = ports_needed == 2 ? memlib::PortCount::kDual : memlib::PortCount::kSingle;
-  for (const auto m : members) {
-    const auto id = groups_[m];
-    mem.groups.push_back(id);
-    const auto& group = app_->group(id);
-    mem.words += group.words;
-    mem.width_bits = std::max(mem.width_bits, group.bitwidth);
-  }
+  mem.groups.reserve(members.size());
+  for (const auto m : members) mem.groups.push_back(groups_[m]);
+  const auto agg = aggregate_members(members);
+  mem.words = agg.words;
+  mem.width_bits = agg.width_bits;
   mem.cost = library_->sram().cost(mem.words, mem.width_bits, mem.ports);
-
-  std::uint64_t reads = 0;
-  std::uint64_t writes = 0;
-  for (const auto id : mem.groups) {
-    const auto totals = app_->totals(id);
-    reads += static_cast<std::uint64_t>(totals.reads);
-    writes += static_cast<std::uint64_t>(totals.writes);
-  }
-  mem.power_mw = library_->onchip_power_mw(mem.cost, reads, writes, frame_cycles_);
+  mem.power_mw = library_->onchip_power_mw(mem.cost, agg.reads, agg.writes, frame_cycles_);
   return mem;
+}
+
+std::optional<memlib::CostTerm> AssignmentProblem::cost_of_members(
+    const std::vector<std::size_t>& members) const {
+  if (members.empty()) return memlib::CostTerm{};
+  const int ports_needed = simultaneous_accesses(members);
+  if (ports_needed > 2) return std::nullopt;
+  const auto agg = aggregate_members(members);
+  const auto cost = library_->sram().cost(
+      agg.words, agg.width_bits,
+      ports_needed == 2 ? memlib::PortCount::kDual : memlib::PortCount::kSingle);
+  const double power = library_->onchip_power_mw(cost, agg.reads, agg.writes, frame_cycles_);
+  return memlib::CostTerm{cost.area_mm2, power};
 }
 
 std::optional<memlib::CostSummary> AssignmentProblem::evaluate(

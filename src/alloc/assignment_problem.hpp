@@ -58,9 +58,25 @@ class AssignmentProblem {
   /// True when group i needs two ports by itself.
   [[nodiscard]] bool self_conflicting(std::size_t i) const;
 
+  /// Largest number of simultaneous accesses a member set must sustain: the
+  /// biggest pairwise-conflicting clique, counting self-conflicting members
+  /// twice.  This is the port count a shared memory needs; above two the set
+  /// is infeasible.  Shared by `build_memory` and the incremental cost engine
+  /// so both cost paths agree bit-for-bit.
+  [[nodiscard]] int simultaneous_accesses(const std::vector<std::size_t>& members) const;
+
   /// Builds the physical memory for a set of member groups; returns nullopt
   /// when the members need more than two simultaneous ports (infeasible).
   [[nodiscard]] std::optional<MemoryInstance> build_memory(
+      const std::vector<std::size_t>& members) const;
+
+  /// Area/power contribution of a member set — the cost of the memory
+  /// `build_memory` would build, without materializing the instance.  Both
+  /// run the same aggregation over the same cached per-group figures and the
+  /// same model calls, so the incremental cost engine (`AssignmentState`)
+  /// and a from-scratch `evaluate` agree bit-for-bit by construction.
+  /// nullopt when the set needs more than two ports.
+  [[nodiscard]] std::optional<memlib::CostTerm> cost_of_members(
       const std::vector<std::size_t>& members) const;
 
   /// Area + power of a complete assignment (assignment[i] in [0, N));
@@ -72,12 +88,25 @@ class AssignmentProblem {
   [[nodiscard]] int min_memories() const;
 
  private:
+  /// Per-group figures cached at construction (the access totals walk every
+  /// loop body, far too slow to redo per candidate memory).
+  struct GroupAggregates {
+    std::uint64_t words = 0;
+    int width_bits = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+  };
+  /// Sums of the members' cached figures, in member order.
+  [[nodiscard]] GroupAggregates aggregate_members(
+      const std::vector<std::size_t>& members) const;
+
   const ir::Application* app_;
   std::vector<ir::BasicGroupId> groups_;
   const memlib::MemoryLibrary* library_;
   std::uint64_t frame_cycles_;
   std::vector<std::vector<bool>> conflict_;   ///< pairwise, problem-local
   std::vector<bool> self_conflict_;
+  std::vector<GroupAggregates> aggregates_;   ///< per problem-local group
 };
 
 }  // namespace dtse::alloc

@@ -1,0 +1,139 @@
+#include "alloc/incremental_cost.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace dtse::alloc {
+
+namespace {
+
+void insert_sorted(std::vector<std::size_t>& members, std::size_t group) {
+  members.insert(std::lower_bound(members.begin(), members.end(), group), group);
+}
+
+void erase_sorted(std::vector<std::size_t>& members, std::size_t group) {
+  const auto it = std::lower_bound(members.begin(), members.end(), group);
+  DTSE_DCHECK(it != members.end() && *it == group, "group not a member");
+  members.erase(it);
+}
+
+}  // namespace
+
+AssignmentState::AssignmentState(const AssignmentProblem& problem, int memory_count,
+                                 const memlib::CostWeights& weights, CostMode mode)
+    : problem_(&problem), weights_(weights), mode_(mode), memory_count_(memory_count) {
+  DTSE_CHECK(memory_count >= 1, "need at least one memory");
+}
+
+double AssignmentState::scalar_from_terms() const {
+  // Sum in memory-index order, skipping empty memories — the exact loop
+  // `AssignmentProblem::evaluate` runs, so the floating-point result matches
+  // a from-scratch evaluation bit-for-bit.
+  memlib::CostSummary summary;
+  for (const auto& mem : memories_) {
+    if (mem.members.empty()) continue;
+    summary.onchip_area_mm2 += mem.term.area_mm2;
+    summary.onchip_power_mw += mem.term.power_mw;
+  }
+  return weights_.scalarize(summary);
+}
+
+memlib::CostTerm AssignmentState::onchip_total() const {
+  if (mode_ == CostMode::kFullRecost) {
+    const auto summary = problem_->evaluate(assignment_, memory_count_);
+    DTSE_ASSERT(summary.has_value(), "state holds a feasible assignment");
+    return {summary->onchip_area_mm2, summary->onchip_power_mw};
+  }
+  memlib::CostTerm total;
+  for (const auto& mem : memories_) {
+    if (!mem.members.empty()) total += mem.term;
+  }
+  return total;
+}
+
+bool AssignmentState::reset(const std::vector<int>& assignment) {
+  DTSE_CHECK(assignment.size() == problem_->group_count(), "one entry per group");
+  assignment_ = assignment;
+  last_.active = false;
+
+  if (mode_ == CostMode::kFullRecost) {
+    const auto summary = problem_->evaluate(assignment_, memory_count_);
+    if (!summary) return false;
+    scalar_ = weights_.scalarize(*summary);
+    return true;
+  }
+
+  memories_.assign(static_cast<std::size_t>(memory_count_), {});
+  // Pre-size the member lists so moves never reallocate mid-run.
+  for (auto& mem : memories_) mem.members.reserve(assignment_.size());
+  for (std::size_t i = 0; i < assignment_.size(); ++i) {
+    DTSE_CHECK(assignment_[i] >= 0 && assignment_[i] < memory_count_,
+               "assignment entry out of range");
+    memories_[static_cast<std::size_t>(assignment_[i])].members.push_back(i);
+  }
+  for (auto& mem : memories_) {
+    const auto term = problem_->cost_of_members(mem.members);
+    if (!term) return false;
+    mem.term = *term;
+  }
+  scalar_ = scalar_from_terms();
+  return true;
+}
+
+std::optional<double> AssignmentState::apply(std::size_t group, int new_m) {
+  DTSE_DCHECK(group < assignment_.size(), "group index out of range");
+  DTSE_DCHECK(new_m >= 0 && new_m < memory_count_, "memory index out of range");
+  const int old_m = assignment_[group];
+  DTSE_DCHECK(new_m != old_m, "move must change the memory");
+
+  if (mode_ == CostMode::kFullRecost) {
+    assignment_[group] = new_m;
+    const auto summary = problem_->evaluate(assignment_, memory_count_);
+    if (!summary) {
+      assignment_[group] = old_m;
+      last_.active = false;  // a failed move leaves nothing to revert
+      return std::nullopt;
+    }
+    last_ = {group, old_m, new_m, {}, {}, scalar_, true};
+    scalar_ = weights_.scalarize(*summary);
+    return scalar_;
+  }
+
+  auto& src = memories_[static_cast<std::size_t>(old_m)];
+  auto& dst = memories_[static_cast<std::size_t>(new_m)];
+  insert_sorted(dst.members, group);
+  const auto dst_term = problem_->cost_of_members(dst.members);
+  if (!dst_term) {
+    erase_sorted(dst.members, group);
+    last_.active = false;  // a failed move leaves nothing to revert
+    return std::nullopt;
+  }
+  erase_sorted(src.members, group);
+  const auto src_term = problem_->cost_of_members(src.members);
+  DTSE_ASSERT(src_term.has_value(), "removing a member cannot add conflicts");
+
+  last_ = {group, old_m, new_m, src.term, dst.term, scalar_, true};
+  src.term = *src_term;
+  dst.term = *dst_term;
+  assignment_[group] = new_m;
+  scalar_ = scalar_from_terms();
+  return scalar_;
+}
+
+void AssignmentState::revert() {
+  DTSE_CHECK(last_.active, "no move to revert");
+  last_.active = false;
+  assignment_[last_.group] = last_.from;
+  scalar_ = last_.scalar;
+  if (mode_ == CostMode::kFullRecost) return;
+
+  auto& src = memories_[static_cast<std::size_t>(last_.from)];
+  auto& dst = memories_[static_cast<std::size_t>(last_.to)];
+  erase_sorted(dst.members, last_.group);
+  insert_sorted(src.members, last_.group);
+  src.term = last_.from_term;
+  dst.term = last_.to_term;
+}
+
+}  // namespace dtse::alloc

@@ -1,0 +1,95 @@
+// Incremental cost engine for the signal-to-memory assignment search.
+//
+// A simulated-annealing move reassigns ONE group, so only the source and
+// destination memories change; every other memory keeps its area and power.
+// `AssignmentState` caches one `memlib::CostTerm` per memory plus per-group
+// aggregates (words, width, access counts), so a move re-costs two memories
+// instead of the whole organization — the O(delta) evaluation that lets
+// `sa_iterations` scale ~10x at the same wall time.
+//
+// Correctness anchor: after any move sequence, `scalar_cost()` equals a
+// from-scratch `CostWeights::scalarize(problem.evaluate(assignment))`
+// bit-for-bit.  This holds because the touched memories are re-costed with
+// the exact computation `build_memory` performs (same member order, same
+// `simultaneous_accesses`, same SRAM/power model calls) and the per-memory
+// terms are summed in memory-index order, mirroring `evaluate`.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "alloc/assignment_problem.hpp"
+#include "memlib/memory_cost.hpp"
+
+namespace dtse::alloc {
+
+/// How `AssignmentState` re-costs a move.
+enum class CostMode {
+  kIncremental,  ///< re-cost only the two memories the move touches
+  kFullRecost,   ///< re-evaluate the whole assignment (reference/baseline)
+};
+
+/// A complete assignment with incrementally maintained cost, supporting
+/// single-group moves with O(1)-memory undo.
+class AssignmentState {
+ public:
+  AssignmentState(const AssignmentProblem& problem, int memory_count,
+                  const memlib::CostWeights& weights,
+                  CostMode mode = CostMode::kIncremental);
+
+  /// Loads a complete assignment (one entry per group, each in
+  /// [0, memory_count)).  Returns false when any memory is infeasible; the
+  /// state must then be reset again before use.
+  bool reset(const std::vector<int>& assignment);
+
+  [[nodiscard]] CostMode mode() const { return mode_; }
+  [[nodiscard]] const std::vector<int>& assignment() const { return assignment_; }
+
+  /// Scalar objective of the current assignment; identical to scalarizing a
+  /// from-scratch `AssignmentProblem::evaluate`.
+  [[nodiscard]] double scalar_cost() const { return scalar_; }
+
+  /// On-chip cost aggregate of the current assignment (off-chip channels do
+  /// not participate in assignment moves).
+  [[nodiscard]] memlib::CostTerm onchip_total() const;
+
+  /// Moves `group` to memory `new_m` (must differ from its current memory)
+  /// and returns the new scalar cost, or nullopt when the move would need a
+  /// tri-ported memory — the state is then unchanged.  A successful move can
+  /// be undone with `revert()`.
+  [[nodiscard]] std::optional<double> apply(std::size_t group, int new_m);
+
+  /// Undoes the most recent successful `apply`.
+  void revert();
+
+ private:
+  struct MemoryState {
+    std::vector<std::size_t> members;  ///< ascending problem-local indices
+    memlib::CostTerm term;
+  };
+  struct LastMove {
+    std::size_t group = 0;
+    int from = -1;
+    int to = -1;
+    memlib::CostTerm from_term;
+    memlib::CostTerm to_term;
+    double scalar = 0.0;
+    bool active = false;
+  };
+
+  /// Scalar of the cached per-memory terms, summed in memory-index order to
+  /// mirror `AssignmentProblem::evaluate` exactly.
+  [[nodiscard]] double scalar_from_terms() const;
+
+  const AssignmentProblem* problem_;
+  memlib::CostWeights weights_;
+  CostMode mode_;
+  int memory_count_;
+  std::vector<int> assignment_;
+  std::vector<MemoryState> memories_;  ///< kIncremental only
+  double scalar_ = 0.0;
+  LastMove last_;
+};
+
+}  // namespace dtse::alloc

@@ -5,7 +5,9 @@
 #include <limits>
 #include <numeric>
 
+#include "alloc/incremental_cost.hpp"
 #include "support/check.hpp"
+#include "support/parallel.hpp"
 #include "support/rng.hpp"
 
 namespace dtse::alloc {
@@ -199,59 +201,130 @@ AssignmentSolution solve_greedy(const AssignmentProblem& problem, int memory_cou
   return solution;
 }
 
+/// One independent annealing chain.  The chain owns its RNG stream (derived
+/// from the options seed and the chain index), starts from the shared greedy
+/// solution, and evaluates moves through the incremental cost engine — a
+/// move re-costs only the two memories it touches.
+struct ChainOutcome {
+  std::vector<int> best_assignment;
+  double best_cost = std::numeric_limits<double>::max();
+  std::uint64_t moves = 0;
+  std::uint64_t accepted = 0;
+};
+
+ChainOutcome anneal_chain(const AssignmentProblem& problem, int memory_count,
+                          const SolverOptions& options, const std::vector<int>& start,
+                          std::size_t chain, int iterations) {
+  AssignmentState state(problem, memory_count, options.weights,
+                        options.sa_incremental ? CostMode::kIncremental
+                                               : CostMode::kFullRecost);
+  const bool ok = state.reset(start);
+  DTSE_ASSERT(ok, "annealing start assignment must be feasible");
+
+  ChainOutcome out;
+  out.best_assignment = start;
+  out.best_cost = state.scalar_cost();
+  double current = state.scalar_cost();
+
+  support::Rng rng(options.seed + 0x9E3779B97F4A7C15ULL * (chain + 1));
+  double temperature = sa_start_temperature(current, options);
+  const double decay = std::pow(1e-3, 1.0 / static_cast<double>(std::max(1, iterations)));
+
+  for (int it = 0; it < iterations; ++it, temperature *= decay) {
+    const auto group = static_cast<std::size_t>(rng.below(problem.group_count()));
+    const int new_m = static_cast<int>(rng.below(static_cast<std::uint64_t>(memory_count)));
+    if (new_m == state.assignment()[group]) continue;
+    ++out.moves;
+    const auto cost = state.apply(group, new_m);
+    if (!cost) continue;  // needs a third port; state unchanged
+    const double delta = *cost - current;
+    const bool accept =
+        delta <= 0.0 || rng.uniform() < std::exp(-delta / std::max(temperature, 1e-9));
+    if (!accept) {
+      state.revert();
+      continue;
+    }
+    ++out.accepted;
+    current = *cost;
+    if (current < out.best_cost) {
+      out.best_cost = current;
+      out.best_assignment = state.assignment();
+    }
+  }
+  return out;
+}
+
 AssignmentSolution solve_annealing(const AssignmentProblem& problem, int memory_count,
                                    const SolverOptions& options) {
-  AssignmentSolution current = solve_greedy(problem, memory_count, options);
-  if (!current.feasible) {
+  AssignmentSolution start = solve_greedy(problem, memory_count, options);
+  if (!start.feasible) {
     // Greedy could not even construct a start; try a trivial spread.
-    current.assignment.assign(problem.group_count(), 0);
+    start.assignment.assign(problem.group_count(), 0);
     for (std::size_t i = 0; i < problem.group_count(); ++i) {
-      current.assignment[i] = static_cast<int>(i % static_cast<std::size_t>(memory_count));
+      start.assignment[i] = static_cast<int>(i % static_cast<std::size_t>(memory_count));
     }
-    const auto summary = problem.evaluate(current.assignment, memory_count);
-    if (!summary) return current;  // genuinely infeasible start
-    current.summary = *summary;
-    current.scalar_cost = options.weights.scalarize(*summary);
-    current.feasible = true;
+    const auto summary = problem.evaluate(start.assignment, memory_count);
+    if (!summary) return start;  // genuinely infeasible start
+    start.summary = *summary;
+    start.scalar_cost = options.weights.scalarize(*summary);
+    start.feasible = true;
+  }
+  if (problem.group_count() == 0 || memory_count < 2) {
+    start.nodes_explored = 0;
+    return start;  // no move can change anything
   }
 
-  AssignmentSolution best = current;
-  support::Rng rng(options.seed);
-  double temperature = options.sa_initial_temperature * std::max(current.scalar_cost, 1.0) /
-                       static_cast<double>(std::max(1, options.sa_iterations));
-  // Scale: start at a few percent of the cost, decay geometrically.
-  temperature = options.sa_initial_temperature * 0.02 * std::max(current.scalar_cost, 1.0);
-  const double decay =
-      std::pow(1e-3, 1.0 / static_cast<double>(std::max(1, options.sa_iterations)));
+  // Multi-chain restarts: independent chains with distinct RNG streams, run
+  // from the shared greedy start.  Each chain writes its own slot, and the
+  // winner is picked by a serial scan with strict improvement (ties resolve
+  // to the lowest chain index), so the result is deterministic for a fixed
+  // (seed, sa_chains) no matter how the chains are scheduled.
+  // The move budget is a total: more chains means more restarts, not more
+  // work.  Chains beyond one per budgeted move would each be forced to a
+  // minimum length and overshoot the budget, so they are dropped.  Every
+  // chain gets the same length so the schedule (and therefore the result)
+  // does not depend on scheduling order.
+  const auto chains = static_cast<std::size_t>(
+      std::clamp(options.sa_chains, 1, std::max(1, options.sa_iterations)));
+  const int per_chain = options.sa_iterations / static_cast<int>(chains);
+  std::vector<ChainOutcome> outcomes(chains);
+  support::parallel_for(chains, options.sa_parallelism, [&](std::size_t c) {
+    outcomes[c] = anneal_chain(problem, memory_count, options, start.assignment, c, per_chain);
+  });
 
+  AssignmentSolution best = start;
   std::uint64_t moves = 0;
-  for (int it = 0; it < options.sa_iterations; ++it, temperature *= decay) {
-    if (problem.group_count() == 0) break;
-    const auto group = static_cast<std::size_t>(rng.below(problem.group_count()));
-    const int old_m = current.assignment[group];
-    const int new_m = static_cast<int>(rng.below(static_cast<std::uint64_t>(memory_count)));
-    if (new_m == old_m) continue;
-    current.assignment[group] = new_m;
-    ++moves;
-    const auto summary = problem.evaluate(current.assignment, memory_count);
-    bool accept = false;
-    if (summary) {
-      const double cost = options.weights.scalarize(*summary);
-      const double delta = cost - current.scalar_cost;
-      accept = delta <= 0.0 || rng.uniform() < std::exp(-delta / std::max(temperature, 1e-9));
-      if (accept) {
-        current.summary = *summary;
-        current.scalar_cost = cost;
-        if (cost < best.scalar_cost) best = current;
-      }
+  std::uint64_t accepted = 0;
+  const ChainOutcome* winner = nullptr;
+  double winning_cost = start.scalar_cost;
+  for (const auto& outcome : outcomes) {
+    moves += outcome.moves;
+    accepted += outcome.accepted;
+    if (outcome.best_cost < winning_cost) {
+      winning_cost = outcome.best_cost;
+      winner = &outcome;
     }
-    if (!accept) current.assignment[group] = old_m;
+  }
+  if (winner != nullptr) {
+    best.assignment = winner->best_assignment;
+    best.scalar_cost = winner->best_cost;
+    const auto summary = problem.evaluate(best.assignment, memory_count);
+    DTSE_ASSERT(summary.has_value(), "winning chain assignment must be feasible");
+    best.summary = *summary;
   }
   best.nodes_explored = moves;
+  best.accepted_moves = accepted;
   return best;
 }
 
 }  // namespace
+
+double sa_start_temperature(double start_cost, const SolverOptions& options) {
+  // A few percent of the starting cost, decayed geometrically by the chain.
+  // (An earlier revision also divided by sa_iterations, which froze long
+  // chains from the first move; that dead formula is gone.)
+  return options.sa_initial_temperature * 0.02 * std::max(start_cost, 1.0);
+}
 
 AssignmentSolution solve_assignment(const AssignmentProblem& problem, int memory_count,
                                     const SolverOptions& options) {

@@ -40,8 +40,24 @@ struct SolverOptions {
   memlib::CostWeights weights;
   std::uint64_t seed = 1;
   int bb_group_limit = 17;       ///< auto: use B&B up to this many groups
-  int sa_iterations = 50000;
+  /// Total annealing move budget, split evenly across the chains.  10x the
+  /// pre-incremental default: the incremental cost engine re-costs only the
+  /// two memories a move touches, so the larger budget stays near the wall
+  /// time of 50k full recosts.
+  int sa_iterations = 500000;
   double sa_initial_temperature = 4.0;  ///< relative to the greedy cost
+  /// Independent annealing chains with distinct RNG streams, each running
+  /// sa_iterations / sa_chains moves; the best chain wins.  Deterministic
+  /// for a fixed (seed, sa_chains) regardless of `sa_parallelism`.
+  int sa_chains = 4;
+  /// Worker threads for the chains (0 = hardware concurrency).  Defaults to
+  /// serial because the exploration sweeps already parallelize across sweep
+  /// points; only affects wall time, never the result.
+  unsigned sa_parallelism = 1;
+  /// When false, every move is re-costed from scratch — the reference
+  /// baseline kept for the ablation/benchmark comparison.  Identical results
+  /// either way (the incremental cost is bit-exact), only slower.
+  bool sa_incremental = true;
 };
 
 struct AssignmentSolution {
@@ -50,7 +66,13 @@ struct AssignmentSolution {
   double scalar_cost = 0.0;
   bool feasible = false;
   std::uint64_t nodes_explored = 0;  ///< search effort (B&B nodes / SA moves)
+  std::uint64_t accepted_moves = 0;  ///< SA only: moves that were kept
 };
+
+/// Initial annealing temperature for a chain starting at `start_cost`: a few
+/// percent of the starting cost, so early moves can escape the greedy basin
+/// without degenerating into a random walk.  Exposed for tests.
+[[nodiscard]] double sa_start_temperature(double start_cost, const SolverOptions& options);
 
 /// Solves the assignment into exactly `memory_count` memories (empty
 /// memories are allowed and simply not built).

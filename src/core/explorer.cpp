@@ -7,6 +7,22 @@
 
 namespace dtse::core {
 
+namespace {
+
+/// When a sweep actually runs on multiple workers (more than one point AND
+/// more than one worker requested), run each point's annealing chains
+/// serially: the solver is deterministic regardless of `sa_parallelism`, so
+/// this only prevents thread oversubscription (sweep workers x chain
+/// workers) without changing any result.
+ExplorerOptions without_nested_parallelism(ExplorerOptions options, std::size_t points) {
+  if (points > 1 && support::effective_parallelism(options.parallelism) > 1) {
+    options.allocation.solver.sa_parallelism = 1;
+  }
+  return options;
+}
+
+}  // namespace
+
 std::string Evaluation::to_string() const {
   std::ostringstream os;
   os << summary << (feasible ? "" : " [INFEASIBLE]") << ", spare cycles " << spare_cycles;
@@ -44,9 +60,10 @@ std::vector<Variant> Explorer::explore_variants(
     std::vector<std::pair<std::string, ir::Application>> variants,
     const ExplorerOptions& options) const {
   std::vector<Variant> result(variants.size());
+  const auto eval_options = without_nested_parallelism(options, variants.size());
   support::parallel_for(variants.size(), options.parallelism, [&](std::size_t i) {
     auto& [label, app] = variants[i];
-    result[i].eval = evaluate(app, options);
+    result[i].eval = evaluate(app, eval_options);
     result[i].label = std::move(label);
     result[i].app = std::move(app);
   });
@@ -57,8 +74,9 @@ std::vector<BudgetPoint> Explorer::explore_cycle_budgets(
     const ir::Application& app, const std::vector<std::uint64_t>& budgets,
     const ExplorerOptions& options) const {
   std::vector<BudgetPoint> points(budgets.size());
+  const auto eval_options = without_nested_parallelism(options, budgets.size());
   support::parallel_for(budgets.size(), options.parallelism, [&](std::size_t i) {
-    auto point_options = options;
+    auto point_options = eval_options;
     point_options.storage_budget_cycles = budgets[i];
     BudgetPoint point;
     point.requested_budget = budgets[i];
@@ -76,8 +94,9 @@ std::vector<Variant> Explorer::explore_allocation_counts(
     const ir::Application& app, const std::vector<int>& counts,
     const ExplorerOptions& options) const {
   std::vector<Variant> result(counts.size());
+  const auto eval_options = without_nested_parallelism(options, counts.size());
   support::parallel_for(counts.size(), options.parallelism, [&](std::size_t i) {
-    auto count_options = options;
+    auto count_options = eval_options;
     count_options.allocation.onchip_memories = counts[i];
     result[i].label = std::to_string(counts[i]) + " on-chip memories";
     result[i].eval = evaluate(app, count_options);

@@ -5,6 +5,14 @@
 
 namespace dtse::memlib {
 
+std::ostream& operator<<(std::ostream& os, const CostTerm& term) {
+  const auto flags = os.flags();
+  os << std::fixed << std::setprecision(1) << "area " << term.area_mm2 << " mm^2, power "
+     << term.power_mw << " mW";
+  os.flags(flags);
+  return os;
+}
+
 std::ostream& operator<<(std::ostream& os, const CostSummary& summary) {
   const auto flags = os.flags();
   os << std::fixed << std::setprecision(1) << "on-chip area " << summary.onchip_area_mm2

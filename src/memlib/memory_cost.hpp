@@ -55,6 +55,25 @@ struct CostSummary {
 
 std::ostream& operator<<(std::ostream& os, const CostSummary& summary);
 
+/// One memory's additive contribution to the on-chip objective.  Composable:
+/// the on-chip part of a CostSummary is the sum of its memories' terms, which
+/// is what lets an incremental solver re-cost a move from cached terms of the
+/// untouched memories instead of rebuilding the whole organization.
+struct CostTerm {
+  double area_mm2 = 0.0;
+  double power_mw = 0.0;
+
+  CostTerm& operator+=(const CostTerm& other) {
+    area_mm2 += other.area_mm2;
+    power_mw += other.power_mw;
+    return *this;
+  }
+
+  friend CostTerm operator+(CostTerm a, const CostTerm& b) { return a += b; }
+};
+
+std::ostream& operator<<(std::ostream& os, const CostTerm& term);
+
 /// Weights used when a single scalar objective is needed (assignment search).
 /// Defaults mirror the paper's emphasis: power first, area as tie-breaker.
 struct CostWeights {
@@ -64,6 +83,12 @@ struct CostWeights {
   [[nodiscard]] double scalarize(const CostSummary& s) const {
     return area_weight * s.onchip_area_mm2 +
            power_weight * (s.onchip_power_mw + s.offchip_power_mw);
+  }
+
+  /// Scalar objective of an on-chip-only aggregate (no off-chip channels
+  /// change during signal-to-memory assignment moves).
+  [[nodiscard]] double scalarize(const CostTerm& t) const {
+    return area_weight * t.area_mm2 + power_weight * t.power_mw;
   }
 };
 
