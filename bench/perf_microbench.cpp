@@ -15,6 +15,7 @@
 #include "graph/conflict_graph.hpp"
 #include "scbd/budget_distribution.hpp"
 #include "support/image.hpp"
+#include "support/rng.hpp"
 #include "trace/instrumented_array.hpp"
 #include "trace/recorder.hpp"
 
@@ -137,6 +138,74 @@ BENCHMARK(BM_AnnealingFullRecost)->Arg(8)->Arg(12)->Unit(benchmark::kMillisecond
 void BM_AnnealingIncremental(benchmark::State& state) { annealing_moves(state, true); }
 BENCHMARK(BM_AnnealingIncremental)->Arg(8)->Arg(12)->Unit(benchmark::kMillisecond);
 
+// Move rate as a function of the member-set size: a synthetic application
+// with Arg groups annealed into 4 memories (Arg/4 members each on average).
+// The incremental engine maintains per-memory conflict counts and re-costs a
+// move in O(members); the full-recost baseline pays the per-move clique scan
+// over every memory, so the items/s gap must WIDEN superlinearly with Arg at
+// bit-identical final_cost.
+struct LargeMemberFixture {
+  ir::Application app{"large"};
+  std::vector<ir::BasicGroupId> groups;
+  graph::ConflictGraph conflicts;
+  memlib::MemoryLibrary library;
+
+  explicit LargeMemberFixture(int n_groups) {
+    ir::LoopBody body;
+    body.name = "loop";
+    body.iterations = 100'000;
+    for (int i = 0; i < n_groups; ++i) {
+      const auto id = app.add_group(
+          {"g" + std::to_string(i), 256u << (i % 3), 4 + 4 * (i % 4), {}, 2});
+      groups.push_back(id);
+      body.accesses.push_back({id, ir::AccessKind::kRead, 2.0});
+      if (i % 2 == 0) body.accesses.push_back({id, ir::AccessKind::kWrite, 1.0});
+    }
+    app.add_body(body);
+    for (int i = 0; i < n_groups; ++i) {
+      for (int j = i + 1; j < n_groups; ++j) {
+        if ((i * 7 + j * 3) % 31 == 0) {
+          conflicts.add_conflict(groups[static_cast<std::size_t>(i)],
+                                 groups[static_cast<std::size_t>(j)], 1.0 + j);
+        }
+      }
+    }
+  }
+};
+
+void annealing_large_members(benchmark::State& state, bool incremental) {
+  const int n_groups = static_cast<int>(state.range(0));
+  LargeMemberFixture fix(n_groups);
+  const alloc::AssignmentProblem problem(fix.app, fix.groups, fix.conflicts, fix.library,
+                                         20'000'000);
+  alloc::SolverOptions options;
+  options.solver = alloc::Solver::kSimulatedAnnealing;
+  options.sa_incremental = incremental;
+  options.sa_chains = 1;
+  options.sa_iterations = 20'000;
+  std::uint64_t moves = 0;
+  double final_cost = 0.0;
+  for (auto _ : state) {
+    const auto solution = alloc::solve_assignment(problem, 4, options);
+    moves += solution.nodes_explored;
+    final_cost = solution.scalar_cost;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(moves));
+  state.counters["final_cost"] = final_cost;
+}
+
+void BM_AnnealingLargeMembers(benchmark::State& state) {
+  annealing_large_members(state, true);
+}
+BENCHMARK(BM_AnnealingLargeMembers)->Arg(32)->Arg(64)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AnnealingLargeMembersFullRecost(benchmark::State& state) {
+  annealing_large_members(state, false);
+}
+BENCHMARK(BM_AnnealingLargeMembersFullRecost)->Arg(32)->Arg(64)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_FullFeedbackEvaluation(benchmark::State& state) {
   const auto& app = demo_app();
   core::Explorer explorer{memlib::MemoryLibrary{}};
@@ -166,6 +235,62 @@ void BM_RecorderRecordThroughput(benchmark::State& state) {
                           static_cast<std::int64_t>(kAccessesPerIteration));
 }
 BENCHMARK(BM_RecorderRecordThroughput);
+
+// The reuse-window simulation backends racing on an encode-like read trace
+// (row scans with parent-style revisits and a sprinkle of random jumps),
+// across the codec's window ladder.  kReferenceLru is the original
+// std::list + unordered_map simulator, kExact the flat ring/intrusive-LRU
+// replacement with bit-identical miss counts, kClock the second-chance
+// approximation for the windows above the exact-ring threshold.
+void reuse_window_modes(benchmark::State& state, trace::ReuseSimMode mode) {
+  trace::RecorderOptions options;
+  options.reuse_sim = mode;
+  trace::Recorder recorder("bench", options);
+  // An address space twice the largest window: like the codec's frame, the
+  // row-buffer-sized window captures real reuse instead of pure thrashing.
+  constexpr std::uint64_t kWords = 1 << 13;
+  const auto a = recorder.register_array("a", kWords, 16);
+  recorder.set_reuse_windows(a, std::vector<std::uint64_t>{4, 12, 256, 4096});
+
+  support::Rng rng(5);
+  std::vector<std::uint64_t> trace_indices(8192);
+  for (std::size_t i = 0; i < trace_indices.size(); ++i) {
+    const std::uint64_t sequential = (i * 3) % kWords;
+    switch (i & 7u) {
+      case 3: trace_indices[i] = (sequential + kWords - 256) % kWords; break;  // one row up
+      case 7: trace_indices[i] = rng.below(kWords); break;
+      default: trace_indices[i] = sequential;
+    }
+  }
+  // Codec-sized iteration scopes (a handful of accesses each) keep the
+  // recorder's per-iteration aggregation realistic instead of quadratic.
+  constexpr std::size_t kPerIteration = 8;
+  for (auto _ : state) {
+    for (std::size_t base = 0; base < trace_indices.size(); base += kPerIteration) {
+      trace::Iteration scope(recorder, "body");
+      for (std::size_t i = base; i < base + kPerIteration; ++i) {
+        recorder.record(a, trace_indices[i], ir::AccessKind::kRead);
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace_indices.size()));
+}
+
+void BM_RecorderReuseWindowReferenceLru(benchmark::State& state) {
+  reuse_window_modes(state, trace::ReuseSimMode::kReferenceLru);
+}
+BENCHMARK(BM_RecorderReuseWindowReferenceLru);
+
+void BM_RecorderReuseWindowExact(benchmark::State& state) {
+  reuse_window_modes(state, trace::ReuseSimMode::kExact);
+}
+BENCHMARK(BM_RecorderReuseWindowExact);
+
+void BM_RecorderReuseWindowClock(benchmark::State& state) {
+  reuse_window_modes(state, trace::ReuseSimMode::kClock);
+}
+BENCHMARK(BM_RecorderReuseWindowClock);
 
 // Uninstrumented wrapper accesses; the Release target for this is raw
 // std::vector indexing speed (bounds checks compile out, one null test).

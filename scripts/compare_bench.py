@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Compare two perf_microbench JSON snapshots and fail on regressions.
+
+Usage:
+    compare_bench.py baseline.json current.json [--threshold 0.20]
+
+Benchmarks are matched by name; a benchmark counts as regressed when its
+current real_time exceeds the baseline's by more than the threshold (after
+normalizing time units).  Benchmarks present on only one side are reported
+but never fail the comparison, so adding or retiring benchmarks does not
+break the nightly gate.  Exit status: 0 = no regression, 1 = at least one
+benchmark regressed, 2 = malformed input.
+
+The nightly CI job runs this against the last *committed* bench/BENCH_*.json
+(see .github/workflows/ci.yml); run it locally before quoting perf deltas:
+
+    scripts/record_bench.sh
+    python3 scripts/compare_bench.py bench/BENCH_<old>.json bench/BENCH_<new>.json
+"""
+
+import argparse
+import json
+import sys
+
+_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_benchmarks(path):
+    """Returns {name: real_time_ns} for every aggregate-free benchmark."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+        benchmarks = {}
+        for entry in doc["benchmarks"]:
+            if entry.get("run_type") == "aggregate":
+                continue
+            unit = _UNIT_NS.get(entry.get("time_unit", "ns"))
+            if unit is None:
+                raise ValueError(f"unknown time_unit in {entry['name']}")
+            benchmarks[entry["name"]] = float(entry["real_time"]) * unit
+        return benchmarks
+    except (OSError, KeyError, ValueError, json.JSONDecodeError) as error:
+        print(f"error: cannot read benchmark JSON {path}: {error}", file=sys.stderr)
+        sys.exit(2)
+
+
+def format_ns(value_ns):
+    for unit, scale in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if value_ns >= scale:
+            return f"{value_ns / scale:.3g} {unit}"
+    return f"{value_ns:.3g} ns"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline JSON (last committed BENCH_*.json)")
+    parser.add_argument("current", help="freshly recorded JSON")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="allowed relative real_time growth (default 0.20)")
+    args = parser.parse_args()
+
+    baseline = load_benchmarks(args.baseline)
+    current = load_benchmarks(args.current)
+
+    regressions = []
+    shared = sorted(set(baseline) & set(current))
+    if not shared:
+        print("error: the snapshots share no benchmark names", file=sys.stderr)
+        sys.exit(2)
+    width = max(len(name) for name in shared)
+    for name in shared:
+        ratio = current[name] / baseline[name] if baseline[name] > 0 else float("inf")
+        marker = " REGRESSED" if ratio > 1.0 + args.threshold else ""
+        print(f"{name:<{width}}  {format_ns(baseline[name]):>10} -> "
+              f"{format_ns(current[name]):>10}  ({ratio - 1.0:+.1%} vs baseline){marker}")
+        if marker:
+            regressions.append((name, ratio))
+    for name in sorted(set(baseline) - set(current)):
+        print(f"{name:<{width}}  only in baseline (ignored)")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"{name:<{width}}  only in current (ignored)")
+
+    if regressions:
+        print(f"\n{len(regressions)} benchmark(s) regressed more than "
+              f"{args.threshold:.0%} vs {args.baseline}:")
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2f}x baseline real_time")
+        return 1
+    print(f"\nno regression beyond {args.threshold:.0%} across "
+          f"{len(shared)} shared benchmarks")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

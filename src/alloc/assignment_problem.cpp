@@ -1,6 +1,7 @@
 #include "alloc/assignment_problem.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "support/check.hpp"
 
@@ -17,15 +18,21 @@ AssignmentProblem::AssignmentProblem(const ir::Application& app,
       frame_cycles_(frame_cycles) {
   DTSE_CHECK(frame_cycles_ > 0, "frame cycle count must be positive");
   const std::size_t n = groups_.size();
-  conflict_.assign(n, std::vector<bool>(n, false));
-  self_conflict_.assign(n, false);
+  conflict_words_ = (n + 63) / 64;
+  conflict_bits_.assign(n * conflict_words_, 0);
+  self_bits_.assign(conflict_words_, 0);
   aggregates_.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
-    self_conflict_[i] = conflicts.has_self_conflict(groups_[i]);
+    if (conflicts.has_self_conflict(groups_[i])) {
+      self_bits_[i / 64] |= std::uint64_t{1} << (i % 64);
+    }
     for (std::size_t j = i + 1; j < n; ++j) {
       const bool c = conflicts.conflicts(groups_[i], groups_[j]) &&
                      conflicts.conflict_weight(groups_[i], groups_[j]) > 0.0;
-      conflict_[i][j] = conflict_[j][i] = c;
+      if (c) {
+        conflict_bits_[i * conflict_words_ + j / 64] |= std::uint64_t{1} << (j % 64);
+        conflict_bits_[j * conflict_words_ + i / 64] |= std::uint64_t{1} << (i % 64);
+      }
     }
     const auto& group = app_->group(groups_[i]);
     const auto totals = app_->totals(groups_[i]);
@@ -48,51 +55,65 @@ AssignmentProblem::GroupAggregates AssignmentProblem::aggregate_members(
 
 bool AssignmentProblem::conflicting(std::size_t i, std::size_t j) const {
   DTSE_CHECK(i < groups_.size() && j < groups_.size(), "group index out of range");
-  return conflict_[i][j];
+  return test_bit(conflict_row(i), j);
 }
 
 bool AssignmentProblem::self_conflicting(std::size_t i) const {
   DTSE_CHECK(i < groups_.size(), "group index out of range");
-  return self_conflict_[i];
+  return test_bit(self_bits_.data(), i);
 }
 
 int AssignmentProblem::simultaneous_accesses(const std::vector<std::size_t>& members) const {
-  // The largest set of members that pairwise conflict, counting a
-  // self-conflicting member twice.  Member sets are small, so a greedy
-  // clique from each seed is effectively exact here.  This sits on the inner
-  // loop of every solver (each candidate memory costs one call), so the
-  // clique scratch lives on the stack for all realistic member counts.
-  constexpr std::size_t kInlineMembers = 32;
-  std::size_t inline_clique[kInlineMembers];
-  std::vector<std::size_t> heap_clique;
-  std::size_t* clique = inline_clique;
-  if (members.size() > kInlineMembers) {
-    heap_clique.resize(members.size());
-    clique = heap_clique.data();
+  // Exact 1 / 2 / >2 classification on the conflict bitsets (see header).
+  // This sits on the inner loop of every solver, so the member-set scratch
+  // bitset lives on the stack for all realistic group counts.
+  constexpr std::size_t kInlineWords = 16;  // 1024 groups
+  std::uint64_t inline_bits[kInlineWords] = {};
+  std::vector<std::uint64_t> heap_bits;
+  std::uint64_t* member_bits = inline_bits;
+  const std::size_t words = conflict_words_;
+  if (words > kInlineWords) {
+    heap_bits.assign(words, 0);
+    member_bits = heap_bits.data();
   }
+  for (const auto m : members) member_bits[m / 64] |= std::uint64_t{1} << (m % 64);
 
-  int ports_needed = 1;
-  for (const auto seed : members) {
-    std::size_t clique_size = 0;
-    clique[clique_size++] = seed;
-    for (const auto candidate : members) {
-      if (candidate == seed) continue;
-      bool adjacent = true;
-      for (std::size_t i = 0; i < clique_size; ++i) {
-        if (clique[i] == candidate || !conflict_[clique[i]][candidate]) {
-          adjacent = false;
-          break;
+  bool pair_or_self = false;
+  for (const auto u : members) {
+    const std::uint64_t* row_u = conflict_row(u);
+    std::uint64_t degree_bits = 0;
+    for (std::size_t w = 0; w < words; ++w) {
+      const std::uint64_t neighbours = row_u[w] & member_bits[w];
+      degree_bits |= neighbours;
+      if (neighbours == 0) continue;
+      // A conflicting pair with a self-conflicting endpoint needs 3 ports.
+      if ((neighbours & self_bits_[w]) != 0) return 3;
+      // A triangle through u: two of u's in-set neighbours conflict.  Each
+      // neighbour v contributes its own in-set neighbourhood; overlap with
+      // u's means a common edge.  Scanning only v > u visits each edge once.
+      std::uint64_t scan = neighbours;
+      if (w < u / 64) {
+        scan = 0;
+      } else if (w == u / 64) {
+        scan &= ~(((std::uint64_t{1} << (u % 64)) << 1) - 1);  // bits above u
+      }
+      while (scan != 0) {
+        const std::size_t v = w * 64 + static_cast<std::size_t>(__builtin_ctzll(scan));
+        scan &= scan - 1;
+        const std::uint64_t* row_v = conflict_row(v);
+        for (std::size_t w2 = 0; w2 < words; ++w2) {
+          if ((row_v[w2] & row_u[w2] & member_bits[w2]) != 0) return 3;
         }
       }
-      if (adjacent) clique[clique_size++] = candidate;
     }
-    int simultaneous = static_cast<int>(clique_size);
-    for (std::size_t i = 0; i < clique_size; ++i) {
-      if (self_conflict_[clique[i]]) ++simultaneous;
+    if (degree_bits != 0) {
+      pair_or_self = true;
+      if (test_bit(self_bits_.data(), u)) return 3;  // u itself needs two ports
+    } else if (test_bit(self_bits_.data(), u)) {
+      pair_or_self = true;
     }
-    ports_needed = std::max(ports_needed, simultaneous);
   }
-  return ports_needed;
+  return pair_or_self ? 2 : 1;
 }
 
 std::optional<MemoryInstance> AssignmentProblem::build_memory(
@@ -114,17 +135,24 @@ std::optional<MemoryInstance> AssignmentProblem::build_memory(
   return mem;
 }
 
+memlib::CostTerm AssignmentProblem::member_cost_term(
+    const std::vector<std::size_t>& members, int ports) const {
+  DTSE_DCHECK(ports == 1 || ports == 2, "memories have one or two ports");
+  if (members.empty()) return memlib::CostTerm{};
+  const auto agg = aggregate_members(members);
+  const auto cost = library_->sram().cost(
+      agg.words, agg.width_bits,
+      ports == 2 ? memlib::PortCount::kDual : memlib::PortCount::kSingle);
+  const double power = library_->onchip_power_mw(cost, agg.reads, agg.writes, frame_cycles_);
+  return memlib::CostTerm{cost.area_mm2, power};
+}
+
 std::optional<memlib::CostTerm> AssignmentProblem::cost_of_members(
     const std::vector<std::size_t>& members) const {
   if (members.empty()) return memlib::CostTerm{};
   const int ports_needed = simultaneous_accesses(members);
   if (ports_needed > 2) return std::nullopt;
-  const auto agg = aggregate_members(members);
-  const auto cost = library_->sram().cost(
-      agg.words, agg.width_bits,
-      ports_needed == 2 ? memlib::PortCount::kDual : memlib::PortCount::kSingle);
-  const double power = library_->onchip_power_mw(cost, agg.reads, agg.writes, frame_cycles_);
-  return memlib::CostTerm{cost.area_mm2, power};
+  return member_cost_term(members, ports_needed);
 }
 
 std::optional<memlib::CostSummary> AssignmentProblem::evaluate(
@@ -160,7 +188,7 @@ int AssignmentProblem::min_memories() const {
     for (std::size_t cand = 0; cand < n; ++cand) {
       if (cand == seed) continue;
       const bool adj = std::all_of(c.begin(), c.end(), [&](std::size_t m) {
-        return m != cand && conflict_[m][cand];
+        return m != cand && test_bit(conflict_row(m), cand);
       });
       if (adj) c.push_back(cand);
     }

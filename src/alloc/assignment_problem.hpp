@@ -58,12 +58,38 @@ class AssignmentProblem {
   /// True when group i needs two ports by itself.
   [[nodiscard]] bool self_conflicting(std::size_t i) const;
 
-  /// Largest number of simultaneous accesses a member set must sustain: the
-  /// biggest pairwise-conflicting clique, counting self-conflicting members
-  /// twice.  This is the port count a shared memory needs; above two the set
-  /// is infeasible.  Shared by `build_memory` and the incremental cost engine
-  /// so both cost paths agree bit-for-bit.
+  /// Number of simultaneous accesses a member set must sustain, saturated at
+  /// three: the size of the biggest pairwise-conflicting clique, counting
+  /// self-conflicting members twice.  Because only the 1 / 2 / "more than 2"
+  /// distinction matters (the port count of a shared memory; above two the
+  /// set is infeasible), the computation is *exact*: it returns 3 iff the
+  /// members contain a conflict triangle or a conflicting pair with a
+  /// self-conflicting endpoint, 2 iff any conflict or self-conflict exists,
+  /// and 1 otherwise.  (An earlier revision grew greedy cliques from each
+  /// seed, which could miss a triangle and under-provision ports.)  Shared by
+  /// `build_memory` and the incremental cost engine so both cost paths agree
+  /// bit-for-bit.
   [[nodiscard]] int simultaneous_accesses(const std::vector<std::size_t>& members) const;
+
+  /// Area/power term of a member set whose port count the caller has already
+  /// established (`ports` in {1, 2}).  Runs the exact aggregation and model
+  /// calls of `cost_of_members` after its feasibility gate — the entry point
+  /// for the incremental cost engine, which maintains per-memory conflict
+  /// counts and therefore knows the port count in O(members).
+  [[nodiscard]] memlib::CostTerm member_cost_term(
+      const std::vector<std::size_t>& members, int ports) const;
+
+  // --- conflict bitsets (problem-local indices, 64 groups per word) --------
+  /// Words per adjacency row; all bitsets below share this pitch.
+  [[nodiscard]] std::size_t conflict_words() const { return conflict_words_; }
+  /// Adjacency row of group i (bit j set iff i and j conflict).
+  [[nodiscard]] const std::uint64_t* conflict_row(std::size_t i) const {
+    return conflict_bits_.data() + i * conflict_words_;
+  }
+  /// Self-conflict bits over all groups.
+  [[nodiscard]] const std::uint64_t* self_conflict_bits() const {
+    return self_bits_.data();
+  }
 
   /// Builds the physical memory for a set of member groups; returns nullopt
   /// when the members need more than two simultaneous ports (infeasible).
@@ -100,12 +126,17 @@ class AssignmentProblem {
   [[nodiscard]] GroupAggregates aggregate_members(
       const std::vector<std::size_t>& members) const;
 
+  [[nodiscard]] bool test_bit(const std::uint64_t* bits, std::size_t i) const {
+    return (bits[i / 64] >> (i % 64)) & 1u;
+  }
+
   const ir::Application* app_;
   std::vector<ir::BasicGroupId> groups_;
   const memlib::MemoryLibrary* library_;
   std::uint64_t frame_cycles_;
-  std::vector<std::vector<bool>> conflict_;   ///< pairwise, problem-local
-  std::vector<bool> self_conflict_;
+  std::size_t conflict_words_ = 0;            ///< bitset row pitch in words
+  std::vector<std::uint64_t> conflict_bits_;  ///< n adjacency rows of conflict_words_
+  std::vector<std::uint64_t> self_bits_;
   std::vector<GroupAggregates> aggregates_;   ///< per problem-local group
 };
 

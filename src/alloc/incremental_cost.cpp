@@ -1,6 +1,7 @@
 #include "alloc/incremental_cost.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "support/check.hpp"
 
@@ -16,6 +17,10 @@ void erase_sorted(std::vector<std::size_t>& members, std::size_t group) {
   const auto it = std::lower_bound(members.begin(), members.end(), group);
   DTSE_DCHECK(it != members.end() && *it == group, "group not a member");
   members.erase(it);
+}
+
+constexpr std::uint64_t bit_of(std::size_t group) {
+  return std::uint64_t{1} << (group % 64);
 }
 
 }  // namespace
@@ -64,21 +69,72 @@ bool AssignmentState::reset(const std::vector<int>& assignment) {
     return true;
   }
 
+  const std::size_t words = problem_->conflict_words();
+  scratch_.assign(words, 0);
   memories_.assign(static_cast<std::size_t>(memory_count_), {});
   // Pre-size the member lists so moves never reallocate mid-run.
-  for (auto& mem : memories_) mem.members.reserve(assignment_.size());
+  for (auto& mem : memories_) {
+    mem.members.reserve(assignment_.size());
+    mem.bits.assign(words, 0);
+  }
   for (std::size_t i = 0; i < assignment_.size(); ++i) {
     DTSE_CHECK(assignment_[i] >= 0 && assignment_[i] < memory_count_,
                "assignment entry out of range");
-    memories_[static_cast<std::size_t>(assignment_[i])].members.push_back(i);
+    auto& mem = memories_[static_cast<std::size_t>(assignment_[i])];
+    mem.members.push_back(i);
+    mem.bits[i / 64] |= bit_of(i);
   }
+  const std::uint64_t* self_bits = problem_->self_conflict_bits();
   for (auto& mem : memories_) {
+    // The feasibility gate stays with the exact reference computation; the
+    // maintained counts only ever describe sets that passed it.
     const auto term = problem_->cost_of_members(mem.members);
     if (!term) return false;
     mem.term = *term;
+    std::uint64_t degree_sum = 0;
+    for (const auto m : mem.members) {
+      const std::uint64_t* row = problem_->conflict_row(m);
+      for (std::size_t w = 0; w < words; ++w) degree_sum += std::popcount(row[w] & mem.bits[w]);
+    }
+    mem.pair_conflicts = degree_sum / 2;  // each pair counted from both ends
+    mem.self_conflicts = 0;
+    for (std::size_t w = 0; w < words; ++w) {
+      mem.self_conflicts += std::popcount(self_bits[w] & mem.bits[w]);
+    }
   }
   scalar_ = scalar_from_terms();
   return true;
+}
+
+std::uint64_t AssignmentState::neighbours_in(const MemoryState& mem, std::size_t group) {
+  const std::uint64_t* row = problem_->conflict_row(group);
+  std::uint64_t degree = 0;
+  for (std::size_t w = 0; w < scratch_.size(); ++w) {
+    scratch_[w] = row[w] & mem.bits[w];
+    degree += std::popcount(scratch_[w]);
+  }
+  return degree;
+}
+
+bool AssignmentState::scratch_insertion_infeasible(std::uint64_t degree,
+                                                  std::size_t group) const {
+  if (degree == 0) return false;  // no new pairs: port needs cannot grow past 2
+  if (problem_->self_conflicting(group)) return true;
+  const std::uint64_t* self_bits = problem_->self_conflict_bits();
+  for (std::size_t w = 0; w < scratch_.size(); ++w) {
+    if ((scratch_[w] & self_bits[w]) != 0) return true;
+    std::uint64_t scan = scratch_[w];
+    while (scan != 0) {
+      const std::size_t v = w * 64 + static_cast<std::size_t>(std::countr_zero(scan));
+      scan &= scan - 1;
+      // Triangle: a neighbour of the group that conflicts with another one.
+      const std::uint64_t* row_v = problem_->conflict_row(v);
+      for (std::size_t w2 = 0; w2 < scratch_.size(); ++w2) {
+        if ((row_v[w2] & scratch_[w2]) != 0) return true;
+      }
+    }
+  }
+  return false;
 }
 
 std::optional<double> AssignmentState::apply(std::size_t group, int new_m) {
@@ -95,27 +151,34 @@ std::optional<double> AssignmentState::apply(std::size_t group, int new_m) {
       last_.active = false;  // a failed move leaves nothing to revert
       return std::nullopt;
     }
-    last_ = {group, old_m, new_m, {}, {}, scalar_, true};
+    last_ = {group, old_m, new_m, {}, {}, 0, 0, scalar_, true};
     scalar_ = weights_.scalarize(*summary);
     return scalar_;
   }
 
   auto& src = memories_[static_cast<std::size_t>(old_m)];
   auto& dst = memories_[static_cast<std::size_t>(new_m)];
-  insert_sorted(dst.members, group);
-  const auto dst_term = problem_->cost_of_members(dst.members);
-  if (!dst_term) {
-    erase_sorted(dst.members, group);
+  const std::uint64_t degree_dst = neighbours_in(dst, group);
+  if (scratch_insertion_infeasible(degree_dst, group)) {
     last_.active = false;  // a failed move leaves nothing to revert
     return std::nullopt;
   }
-  erase_sorted(src.members, group);
-  const auto src_term = problem_->cost_of_members(src.members);
-  DTSE_ASSERT(src_term.has_value(), "removing a member cannot add conflicts");
+  const std::uint64_t degree_src = neighbours_in(src, group);
+  const bool self = problem_->self_conflicting(group);
 
-  last_ = {group, old_m, new_m, src.term, dst.term, scalar_, true};
-  src.term = *src_term;
-  dst.term = *dst_term;
+  insert_sorted(dst.members, group);
+  dst.bits[group / 64] |= bit_of(group);
+  dst.pair_conflicts += degree_dst;
+  dst.self_conflicts += self ? 1 : 0;
+  erase_sorted(src.members, group);
+  src.bits[group / 64] &= ~bit_of(group);
+  src.pair_conflicts -= degree_src;
+  src.self_conflicts -= self ? 1 : 0;
+
+  last_ = {group,      old_m,      new_m,   src.term, dst.term,
+           degree_src, degree_dst, scalar_, true};
+  src.term = problem_->member_cost_term(src.members, src.ports());
+  dst.term = problem_->member_cost_term(dst.members, dst.ports());
   assignment_[group] = new_m;
   scalar_ = scalar_from_terms();
   return scalar_;
@@ -128,10 +191,17 @@ void AssignmentState::revert() {
   scalar_ = last_.scalar;
   if (mode_ == CostMode::kFullRecost) return;
 
+  const bool self = problem_->self_conflicting(last_.group);
   auto& src = memories_[static_cast<std::size_t>(last_.from)];
   auto& dst = memories_[static_cast<std::size_t>(last_.to)];
   erase_sorted(dst.members, last_.group);
+  dst.bits[last_.group / 64] &= ~bit_of(last_.group);
+  dst.pair_conflicts -= last_.degree_to;
+  dst.self_conflicts -= self ? 1 : 0;
   insert_sorted(src.members, last_.group);
+  src.bits[last_.group / 64] |= bit_of(last_.group);
+  src.pair_conflicts += last_.degree_from;
+  src.self_conflicts += self ? 1 : 0;
   src.term = last_.from_term;
   dst.term = last_.to_term;
 }

@@ -2,16 +2,22 @@
 //
 // A simulated-annealing move reassigns ONE group, so only the source and
 // destination memories change; every other memory keeps its area and power.
-// `AssignmentState` caches one `memlib::CostTerm` per memory plus per-group
-// aggregates (words, width, access counts), so a move re-costs two memories
-// instead of the whole organization — the O(delta) evaluation that lets
-// `sa_iterations` scale ~10x at the same wall time.
+// `AssignmentState` caches one `memlib::CostTerm` per memory plus, per
+// memory, a member bitset and conflict/port counts (conflicting pairs and
+// self-conflicting members).  A live memory is feasible, so it holds no
+// conflict triangle and no conflicting pair with a self-conflicting
+// endpoint; its port count is then fully determined by the two counts
+// (any pair or self-conflict => dual-port), and a move re-costs its two
+// touched memories in O(members) — feasibility and count deltas come from
+// bitset intersections with the moved group's adjacency row, instead of the
+// O(members^2)-and-worse clique scan of `simultaneous_accesses`.
 //
 // Correctness anchor: after any move sequence, `scalar_cost()` equals a
 // from-scratch `CostWeights::scalarize(problem.evaluate(assignment))`
-// bit-for-bit.  This holds because the touched memories are re-costed with
-// the exact computation `build_memory` performs (same member order, same
-// `simultaneous_accesses`, same SRAM/power model calls) and the per-memory
+// bit-for-bit.  This holds because the maintained port decision provably
+// matches `simultaneous_accesses` on feasible sets, the touched memories are
+// re-costed through the same `member_cost_term` aggregation `build_memory`
+// uses (same member order, same SRAM/power model calls), and the per-memory
 // terms are summed in memory-index order, mirroring `evaluate`.
 #pragma once
 
@@ -66,7 +72,16 @@ class AssignmentState {
  private:
   struct MemoryState {
     std::vector<std::size_t> members;  ///< ascending problem-local indices
+    std::vector<std::uint64_t> bits;   ///< the same members as a bitset
+    std::uint64_t pair_conflicts = 0;  ///< conflicting pairs inside the memory
+    std::uint64_t self_conflicts = 0;  ///< self-conflicting members
     memlib::CostTerm term;
+
+    /// Port count of a feasible member set (no triangles, no self-edges —
+    /// the only states this engine keeps): 2 iff any conflict forces it.
+    [[nodiscard]] int ports() const {
+      return pair_conflicts > 0 || self_conflicts > 0 ? 2 : 1;
+    }
   };
   struct LastMove {
     std::size_t group = 0;
@@ -74,6 +89,8 @@ class AssignmentState {
     int to = -1;
     memlib::CostTerm from_term;
     memlib::CostTerm to_term;
+    std::uint64_t degree_from = 0;  ///< group's conflict degree in the source
+    std::uint64_t degree_to = 0;    ///< and in the destination
     double scalar = 0.0;
     bool active = false;
   };
@@ -82,12 +99,24 @@ class AssignmentState {
   /// mirror `AssignmentProblem::evaluate` exactly.
   [[nodiscard]] double scalar_from_terms() const;
 
+  /// `group`'s conflict neighbours inside `mem`, written into `scratch_`
+  /// (returns the popcount).
+  std::uint64_t neighbours_in(const MemoryState& mem, std::size_t group);
+
+  /// True when adding `group` to the memory whose neighbour set sits in
+  /// `scratch_` (with popcount `degree`) would need a third port: the group
+  /// is self-conflicting and meets any conflict, conflicts with a
+  /// self-conflicting member, or closes a conflict triangle.
+  [[nodiscard]] bool scratch_insertion_infeasible(std::uint64_t degree,
+                                                 std::size_t group) const;
+
   const AssignmentProblem* problem_;
   memlib::CostWeights weights_;
   CostMode mode_;
   int memory_count_;
   std::vector<int> assignment_;
   std::vector<MemoryState> memories_;  ///< kIncremental only
+  std::vector<std::uint64_t> scratch_;  ///< one bitset row, reused per move
   double scalar_ = 0.0;
   LastMove last_;
 };

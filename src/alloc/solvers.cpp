@@ -201,16 +201,49 @@ AssignmentSolution solve_greedy(const AssignmentProblem& problem, int memory_cou
   return solution;
 }
 
-/// One independent annealing chain.  The chain owns its RNG stream (derived
-/// from the options seed and the chain index), starts from the shared greedy
-/// solution, and evaluates moves through the incremental cost engine — a
-/// move re-costs only the two memories it touches.
+/// One independent annealing chain.  The chain owns its RNG streams (derived
+/// from the options seed and the chain index), derives its start per
+/// `SolverOptions::sa_start`, and evaluates moves through the incremental
+/// cost engine — a move re-costs only the two memories it touches.
 struct ChainOutcome {
   std::vector<int> best_assignment;
   double best_cost = std::numeric_limits<double>::max();
   std::uint64_t moves = 0;
   std::uint64_t accepted = 0;
 };
+
+/// Diversifies `state` away from the greedy start it was reset with.  Start
+/// derivation draws from `rng` only (its own stream), so a chain's start is a
+/// pure function of (seed, chain) no matter how chains are scheduled.
+void diversify_start(AssignmentState& state, const AssignmentProblem& problem,
+                     int memory_count, const SolverOptions& options,
+                     const std::vector<int>& greedy, support::Rng& rng) {
+  const std::size_t n = problem.group_count();
+  if (options.sa_start == SaStart::kRandomFeasible) {
+    std::vector<int> candidate(n);
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      for (auto& entry : candidate) {
+        entry = static_cast<int>(rng.below(static_cast<std::uint64_t>(memory_count)));
+      }
+      if (state.reset(candidate)) return;
+    }
+    // Dense conflicts can make random draws hopeless; restore the greedy
+    // start (a failed reset leaves the state unusable) and perturb instead.
+    const bool ok = state.reset(greedy);
+    DTSE_ASSERT(ok, "greedy start must stay feasible");
+  }
+  // kPerturbedGreedy (and the kRandomFeasible fallback): a burst of random
+  // feasible moves, kept regardless of cost — enough kicks to leave the
+  // greedy basin while staying feasible by construction.
+  const std::size_t kicks = std::max<std::size_t>(2, n / 3);
+  std::size_t applied = 0;
+  for (std::size_t tries = 0; tries < 8 * kicks && applied < kicks; ++tries) {
+    const auto group = static_cast<std::size_t>(rng.below(n));
+    const int new_m = static_cast<int>(rng.below(static_cast<std::uint64_t>(memory_count)));
+    if (new_m == state.assignment()[group]) continue;
+    if (state.apply(group, new_m)) ++applied;
+  }
+}
 
 ChainOutcome anneal_chain(const AssignmentProblem& problem, int memory_count,
                           const SolverOptions& options, const std::vector<int>& start,
@@ -220,9 +253,13 @@ ChainOutcome anneal_chain(const AssignmentProblem& problem, int memory_count,
                                                : CostMode::kFullRecost);
   const bool ok = state.reset(start);
   DTSE_ASSERT(ok, "annealing start assignment must be feasible");
+  if (chain > 0 && options.sa_start != SaStart::kGreedy) {
+    support::Rng start_rng(options.seed ^ 0xD1B54A32D192ED03ULL * (chain + 1));
+    diversify_start(state, problem, memory_count, options, start, start_rng);
+  }
 
   ChainOutcome out;
-  out.best_assignment = start;
+  out.best_assignment = state.assignment();
   out.best_cost = state.scalar_cost();
   double current = state.scalar_cost();
 
@@ -274,8 +311,9 @@ AssignmentSolution solve_annealing(const AssignmentProblem& problem, int memory_
     return start;  // no move can change anything
   }
 
-  // Multi-chain restarts: independent chains with distinct RNG streams, run
-  // from the shared greedy start.  Each chain writes its own slot, and the
+  // Multi-chain restarts: independent chains with distinct RNG streams,
+  // started per `sa_start` (chain 0 from the greedy solution, the others
+  // diversified).  Each chain writes its own slot, and the
   // winner is picked by a serial scan with strict improvement (ties resolve
   // to the lowest chain index), so the result is deterministic for a fixed
   // (seed, sa_chains) no matter how the chains are scheduled.

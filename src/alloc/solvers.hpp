@@ -35,6 +35,26 @@ enum class Solver { kBranchAndBound, kGreedy, kSimulatedAnnealing, kAuto };
   return "?";
 }
 
+/// Where each annealing chain starts.  Chain 0 always starts from the plain
+/// greedy solution, so the multi-chain best-of never loses to greedy; the
+/// other chains diversify per this knob.  Start derivation draws from its own
+/// RNG stream keyed on (seed, chain), so results are deterministic for a
+/// fixed configuration at any parallelism.
+enum class SaStart {
+  kGreedy,           ///< every chain restarts from the identical greedy solution
+  kPerturbedGreedy,  ///< greedy plus a burst of random feasible moves per chain
+  kRandomFeasible,   ///< an independent random feasible assignment per chain
+};
+
+[[nodiscard]] constexpr const char* to_string(SaStart start) {
+  switch (start) {
+    case SaStart::kGreedy: return "greedy";
+    case SaStart::kPerturbedGreedy: return "perturbed-greedy";
+    case SaStart::kRandomFeasible: return "random-feasible";
+  }
+  return "?";
+}
+
 struct SolverOptions {
   Solver solver = Solver::kAuto;
   memlib::CostWeights weights;
@@ -48,8 +68,10 @@ struct SolverOptions {
   double sa_initial_temperature = 4.0;  ///< relative to the greedy cost
   /// Independent annealing chains with distinct RNG streams, each running
   /// sa_iterations / sa_chains moves; the best chain wins.  Deterministic
-  /// for a fixed (seed, sa_chains) regardless of `sa_parallelism`.
+  /// for a fixed (seed, sa_chains, sa_start) regardless of `sa_parallelism`.
   int sa_chains = 4;
+  /// Chain start diversification (chain 0 always stays pure greedy).
+  SaStart sa_start = SaStart::kPerturbedGreedy;
   /// Worker threads for the chains (0 = hardware concurrency).  Defaults to
   /// serial because the exploration sweeps already parallelize across sweep
   /// points; only affects wall time, never the result.

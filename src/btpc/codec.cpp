@@ -14,6 +14,15 @@ constexpr int kMaxSymbolBin = AdaptiveHuffmanBank::kEscape - 1;  // 62
 
 int clamp_sample(int v) { return std::clamp(v, 0, 255); }
 
+/// Strip height for the tiled traversal: a strip's image (2 B), pyr (1 B)
+/// and ridge (1 B) rows should together sit inside ~256 KiB so the encode
+/// half of a fused strip finds the predict half's writes still resident.
+int effective_tile_rows(const CodecOptions& options, int width, int height) {
+  if (options.tile_rows > 0) return options.tile_rows;
+  const int budget_rows = static_cast<int>((256 * 1024) / (static_cast<long>(width) * 4));
+  return std::clamp(budget_rows, 16, std::max(16, height));
+}
+
 }  // namespace
 
 /// RAII iteration marker that is a no-op for uninstrumented encoders.
@@ -117,9 +126,10 @@ void Encoder::init_tables(const CodecOptions& options) {
   esc_tail_ = 0;
 }
 
-void Encoder::predict_pass(const LevelSpec& level, const CodecOptions& options) {
+void Encoder::predict_pass(const LevelSpec& level, const CodecOptions& options,
+                           int y_begin, int y_end) {
   const int delta = options.quantizer_delta;
-  for_each_detail_point(level, width_, height_, [&](Point p) {
+  visit_detail_points_in_rows(level, width_, height_, y_begin, y_end, [&](Point p) {
     IterationScope scope(recorder_, "predict");
 
     const auto parents = parent_positions(p, level, width_, height_);
@@ -176,8 +186,9 @@ void Encoder::predict_pass(const LevelSpec& level, const CodecOptions& options) 
   });
 }
 
-void Encoder::encode_pass(const LevelSpec& level, BitWriter& writer) {
-  for_each_detail_point(level, width_, height_, [&](Point p) {
+void Encoder::encode_pass(const LevelSpec& level, BitWriter& writer, int y_begin,
+                          int y_end) {
+  visit_detail_points_in_rows(level, width_, height_, y_begin, y_end, [&](Point p) {
     IterationScope scope(recorder_, "encode");
 
     const int symbol = pyr_.read(p.x, p.y);
@@ -216,7 +227,7 @@ EncodedImage Encoder::encode(const support::Image& image, const CodecOptions& op
 
   // Raw transmission of the top lattice.
   std::size_t base_count = 0;
-  for_each_top_point(width_, height_, [&](Point p) {
+  visit_top_points(width_, height_, [&](Point p) {
     IterationScope scope(recorder_, "encode_base");
     const auto v = image_.read(p.x, p.y);
     base_buf_.write(base_count++ % base_buf_.size(), v);
@@ -224,14 +235,30 @@ EncodedImage Encoder::encode(const support::Image& image, const CodecOptions& op
   });
 
   const auto levels = decomposition_levels(width_, height_);
+  const int tile_rows = effective_tile_rows(options, width_, height_);
   for (std::size_t li = 0; li < levels.size(); ++li) {
     {
       IterationScope scope(recorder_, "level_setup");
       level_offsets_.write(li % level_offsets_.size(),
                            static_cast<std::uint32_t>(writer.bits_written() >> 4));
     }
-    predict_pass(levels[li], options);
-    encode_pass(levels[li], writer);
+    if (options.traversal == Traversal::kLevelOrder) {
+      predict_pass(levels[li], options, 0, height_);
+      encode_pass(levels[li], writer, 0, height_);
+    } else {
+      // Strip fusion: a point's encode only needs its own predict (pyr,
+      // ridge, and the escape FIFO, which both halves walk in the same
+      // raster order), and a point's predict only reads values fixed before
+      // its strip begins — parents on coarser lattices plus, in lossy mode,
+      // causal same-level context at lower raster positions.  Interleaving
+      // whole strips therefore reproduces the level-order bitstream exactly
+      // while the strip's planes stay cache-resident between the halves.
+      for (int y0 = 0; y0 < height_; y0 += tile_rows) {
+        const int y1 = std::min(y0 + tile_rows, height_);
+        predict_pass(levels[li], options, y0, y1);
+        encode_pass(levels[li], writer, y0, y1);
+      }
+    }
   }
   DTSE_ASSERT(escape_values_.empty(), "escape value stream out of balance");
 
@@ -250,13 +277,13 @@ support::Image Decoder::decode(const EncodedImage& encoded) {
   BitReader reader(encoded.stream);
   AdaptiveHuffmanBank huffman;
 
-  for_each_top_point(encoded.width, encoded.height, [&](Point p) {
+  visit_top_points(encoded.width, encoded.height, [&](Point p) {
     image.at(p.x, p.y) = static_cast<std::uint16_t>(reader.get(8));
   });
 
   const int delta = encoded.lossy ? encoded.quantizer_delta : 1;
   for (const auto& level : decomposition_levels(encoded.width, encoded.height)) {
-    for_each_detail_point(level, encoded.width, encoded.height, [&](Point p) {
+    visit_detail_points(level, encoded.width, encoded.height, [&](Point p) {
       const auto parents = parent_positions(p, level, encoded.width, encoded.height);
       std::array<int, 4> neighbours{};
       for (std::size_t i = 0; i < parents.size(); ++i) {

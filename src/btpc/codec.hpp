@@ -30,9 +30,26 @@
 
 namespace dtse::btpc {
 
+/// How the encoder walks each pyramid level.
+enum class Traversal : std::uint8_t {
+  /// Reference order: one predict pass over the whole level, then one encode
+  /// pass over the whole level.  At 512+ frames the second pass re-reads the
+  /// pyr/ridge planes from cold memory.
+  kLevelOrder,
+  /// Strip-fused order: predict then encode over cache-sized row strips of
+  /// the level.  Enumerates the same points in the same per-pass order, so
+  /// the bitstream (and the access profile) is byte-identical to kLevelOrder;
+  /// only the memory-system behaviour changes.
+  kTiled,
+};
+
 struct CodecOptions {
   bool lossy = false;
   int quantizer_delta = 4;  ///< residual quantization step in lossy mode
+  Traversal traversal = Traversal::kTiled;
+  /// Strip height in image rows for Traversal::kTiled (0 = pick from the
+  /// frame width so a strip's image/pyr/ridge rows fit in ~256 KiB).
+  int tile_rows = 0;
 };
 
 /// An encoded image: self-contained header plus the entropy-coded stream.
@@ -73,8 +90,11 @@ class Encoder {
   class IterationScope;  // no-op when not instrumented
 
   void init_tables(const CodecOptions& options);
-  void predict_pass(const LevelSpec& level, const CodecOptions& options);
-  void encode_pass(const LevelSpec& level, BitWriter& writer);
+  /// Strip-ranged passes: process the level's detail points with y in
+  /// [y_begin, y_end).  The full-level passes are the [0, height) case.
+  void predict_pass(const LevelSpec& level, const CodecOptions& options, int y_begin,
+                    int y_end);
+  void encode_pass(const LevelSpec& level, BitWriter& writer, int y_begin, int y_end);
 
   trace::Recorder* recorder_ = nullptr;
   int width_;

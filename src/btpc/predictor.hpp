@@ -6,10 +6,14 @@
 // the demonstrator's `ridge` array) and the class selects both the
 // predictor and, together with the pyramid level, one of the six adaptive
 // Huffman coders.
+// All three functions run once per detail pixel inside the codec's fused
+// strip loops, so they live in the header and inline into the caller.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <cstdlib>
+#include <utility>
 
 namespace dtse::btpc {
 
@@ -27,18 +31,76 @@ struct Prediction {
 };
 
 /// Predicts from four neighbour samples.
-[[nodiscard]] Prediction predict_from_neighbours(const std::array<int, 4>& neighbours);
+[[nodiscard]] inline Prediction predict_from_neighbours(
+    const std::array<int, 4>& neighbours) {
+  // 5-comparator sorting network for the four neighbours (std::sort is not
+  // worth its dispatch at this size).
+  int s0 = neighbours[0];
+  int s1 = neighbours[1];
+  int s2 = neighbours[2];
+  int s3 = neighbours[3];
+  if (s0 > s1) std::swap(s0, s1);
+  if (s2 > s3) std::swap(s2, s3);
+  if (s0 > s2) std::swap(s0, s2);
+  if (s1 > s3) std::swap(s1, s3);
+  if (s1 > s2) std::swap(s1, s2);
+  const int range = s3 - s0;
+
+  Prediction result;
+  if (range <= 2) {
+    // Flat neighbourhood: the rounded mean is the best estimate.
+    result.pixel_class = PixelClass::kSmooth;
+    result.value = (s0 + s1 + s2 + s3 + 2) / 4;
+    return result;
+  }
+
+  const int low_gap = s1 - s0;
+  const int high_gap = s3 - s2;
+  const int core = s2 - s1;
+
+  if (high_gap > core + low_gap + 8) {
+    // One high outlier: a bright line runs through; predict from the rest.
+    result.pixel_class = PixelClass::kRidge;
+    result.value = (s0 + s1 + s2 + 1) / 3;
+    return result;
+  }
+  if (low_gap > core + high_gap + 8) {
+    // One low outlier (dark line).
+    result.pixel_class = PixelClass::kRidge;
+    result.value = (s1 + s2 + s3 + 1) / 3;
+    return result;
+  }
+  if (range > 32 && low_gap + high_gap < core) {
+    // Two tight pairs far apart: an edge passes between them; the median
+    // pair biased to the closer side is the classic BTPC choice — we take
+    // the mean of the middle two, which sits on the edge.
+    result.pixel_class = PixelClass::kEdge;
+    result.value = (s1 + s2 + 1) / 2;
+    return result;
+  }
+  result.pixel_class = PixelClass::kTextured;
+  result.value = (s1 + s2 + 1) / 2;  // median of four
+  return result;
+}
 
 /// Selects one of the six Huffman coders from the pixel class and the
 /// pyramid scale (full-resolution levels get per-class coders; coarse
 /// levels share two).
-[[nodiscard]] int select_coder(PixelClass pixel_class, int scale);
+[[nodiscard]] inline int select_coder(PixelClass pixel_class, int scale) {
+  const int cls = static_cast<int>(pixel_class);
+  if (scale == 0) return cls;          // coders 0..3: full-resolution classes
+  return cls <= 1 ? 4 : 5;             // coders 4/5: coarse smooth vs. busy
+}
 
 /// Context refinement from two causal same-lattice neighbours (west/north at
 /// distance 2*2^a): a nominally smooth neighbourhood next to high activity
 /// is reclassified as textured.  Encoder and decoder apply this identically,
 /// so it only uses data both sides have.
-[[nodiscard]] PixelClass refine_class(PixelClass pixel_class, int predicted, int west2,
-                                      int north2);
+[[nodiscard]] inline PixelClass refine_class(PixelClass pixel_class, int predicted,
+                                             int west2, int north2) {
+  if (pixel_class != PixelClass::kSmooth) return pixel_class;
+  const int activity = std::abs(west2 - predicted) + std::abs(north2 - predicted);
+  return activity > 24 ? PixelClass::kTextured : PixelClass::kSmooth;
+}
 
 }  // namespace dtse::btpc

@@ -71,31 +71,16 @@ std::array<Point, 4> parent_positions(Point p, const LevelSpec& level, int width
 
 void for_each_detail_point(const LevelSpec& level, int width, int height,
                            const std::function<void(Point)>& fn) {
-  const int s = 1 << level.scale;
-  if (level.phase == Phase::kSquare) {
-    // Both coordinates odd multiples of 2^a.
-    for (int y = s; y < height; y += 2 * s) {
-      for (int x = s; x < width; x += 2 * s) fn({x, y});
-    }
-  } else {
-    // Multiples of 2^a with odd coordinate-sum parity.
-    for (int y = 0; y < height; y += s) {
-      const bool y_odd = ((y >> level.scale) & 1) != 0;
-      for (int x = y_odd ? 0 : s; x < width; x += 2 * s) fn({x, y});
-    }
-  }
+  visit_detail_points(level, width, height, [&](Point p) { fn(p); });
 }
 
 void for_each_top_point(int width, int height, const std::function<void(Point)>& fn) {
-  const int s = 1 << top_scale(width, height);
-  for (int y = 0; y < height; y += s) {
-    for (int x = 0; x < width; x += s) fn({x, y});
-  }
+  visit_top_points(width, height, [&](Point p) { fn(p); });
 }
 
 std::uint64_t detail_point_count(const LevelSpec& level, int width, int height) {
   std::uint64_t count = 0;
-  for_each_detail_point(level, width, height, [&](Point) { ++count; });
+  visit_detail_points(level, width, height, [&](Point) { ++count; });
   return count;
 }
 

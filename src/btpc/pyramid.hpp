@@ -20,6 +20,7 @@
 // reflected back onto the lattice.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <functional>
@@ -53,11 +54,55 @@ struct Point {
 [[nodiscard]] std::array<Point, 4> parent_positions(Point p, const LevelSpec& level,
                                                     int width, int height);
 
+/// Invokes `fn` for every detail point of `level` whose y lies in
+/// [y_begin, y_end), in raster order.  Header-inlined template: the per-point
+/// call compiles down into the caller's loop body, so the codec's pixel loops
+/// pay no std::function dispatch.  Restricting the row range is what the
+/// tiled (strip-fused) codec traversal is built on: visiting a level strip by
+/// strip in row order enumerates exactly the points of the full-level walk,
+/// in the same order.
+template <typename Fn>
+inline void visit_detail_points_in_rows(const LevelSpec& level, int width, int height,
+                                        int y_begin, int y_end, Fn&& fn) {
+  const int s = 1 << level.scale;
+  y_end = std::min(y_end, height);
+  if (level.phase == Phase::kSquare) {
+    // Both coordinates odd multiples of 2^a.
+    const int step = 2 * s;
+    int y = s;
+    if (y_begin > s) y = s + (y_begin - s + step - 1) / step * step;
+    for (; y < y_end; y += step) {
+      for (int x = s; x < width; x += step) fn(Point{x, y});
+    }
+  } else {
+    // Multiples of 2^a with odd coordinate-sum parity.
+    int y = y_begin > 0 ? (y_begin + s - 1) / s * s : 0;
+    for (; y < y_end; y += s) {
+      const bool y_odd = ((y >> level.scale) & 1) != 0;
+      for (int x = y_odd ? 0 : s; x < width; x += 2 * s) fn(Point{x, y});
+    }
+  }
+}
+
 /// Invokes `fn` for every detail point of `level`, in raster order.
-void for_each_detail_point(const LevelSpec& level, int width, int height,
-                           const std::function<void(Point)>& fn);
+template <typename Fn>
+inline void visit_detail_points(const LevelSpec& level, int width, int height, Fn&& fn) {
+  visit_detail_points_in_rows(level, width, height, 0, height,
+                              std::forward<Fn>(fn));
+}
 
 /// Invokes `fn` for every point of the raw top lattice, in raster order.
+template <typename Fn>
+inline void visit_top_points(int width, int height, Fn&& fn) {
+  const int s = 1 << top_scale(width, height);
+  for (int y = 0; y < height; y += s) {
+    for (int x = 0; x < width; x += s) fn(Point{x, y});
+  }
+}
+
+/// Type-erased wrappers kept for callers that do not sit on a hot path.
+void for_each_detail_point(const LevelSpec& level, int width, int height,
+                           const std::function<void(Point)>& fn);
 void for_each_top_point(int width, int height, const std::function<void(Point)>& fn);
 
 /// Number of detail points of `level` (for budgeting and tests).

@@ -14,9 +14,191 @@ constexpr ir::AccessKind kind_of(std::uint32_t slot) {
   return static_cast<ir::AccessKind>(slot & 1u);
 }
 
+/// splitmix64 finalizer: the index hash of the reuse simulators' flat maps.
+constexpr std::uint64_t mix_index(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
 }  // namespace
 
-Recorder::Recorder(std::string application_name) : app_name_(std::move(application_name)) {}
+// --- ReuseSim ----------------------------------------------------------------
+
+void ReuseSim::init(ReuseSimMode mode, std::uint64_t ring_threshold,
+                    std::uint64_t capacity, std::uint64_t declared_capacity) {
+  capacity_ = capacity;
+  declared_capacity_ = declared_capacity;
+  switch (mode) {
+    case ReuseSimMode::kReferenceLru:
+      backend_ = Backend::kReference;
+      return;
+    case ReuseSimMode::kExact:
+      backend_ = capacity <= ring_threshold ? Backend::kRing : Backend::kFlatLru;
+      break;
+    case ReuseSimMode::kClock:
+      backend_ = capacity <= ring_threshold ? Backend::kRing : Backend::kClock;
+      break;
+  }
+  if (backend_ == Backend::kRing) {
+    ring_.reserve(capacity);
+    return;
+  }
+  // Flat map sized at twice the capacity (load factor <= 0.5), power of two.
+  std::uint64_t map_size = 2;
+  while (map_size < 2 * capacity) map_size <<= 1;
+  map_mask_ = map_size - 1;
+  map_keys_.assign(map_size, kEmptyKey);
+  map_vals_.assign(map_size, 0);
+  if (backend_ == Backend::kFlatLru) {
+    nodes_.reserve(capacity);
+  } else {
+    slots_.reserve(capacity);
+  }
+}
+
+std::uint32_t* ReuseSim::map_find(std::uint64_t key) {
+  std::uint64_t slot = mix_index(key) & map_mask_;
+  while (map_keys_[slot] != kEmptyKey) {
+    if (map_keys_[slot] == key) return &map_vals_[slot];
+    slot = (slot + 1) & map_mask_;
+  }
+  return nullptr;
+}
+
+void ReuseSim::map_insert(std::uint64_t key, std::uint32_t value) {
+  std::uint64_t slot = mix_index(key) & map_mask_;
+  while (map_keys_[slot] != kEmptyKey) slot = (slot + 1) & map_mask_;
+  map_keys_[slot] = key;
+  map_vals_[slot] = value;
+}
+
+void ReuseSim::map_erase(std::uint64_t key) {
+  std::uint64_t slot = mix_index(key) & map_mask_;
+  while (map_keys_[slot] != key) {
+    DTSE_DCHECK(map_keys_[slot] != kEmptyKey, "erasing an absent reuse-map key");
+    slot = (slot + 1) & map_mask_;
+  }
+  // Backward-shift deletion keeps probe chains intact without tombstones.
+  std::uint64_t hole = slot;
+  std::uint64_t probe = (hole + 1) & map_mask_;
+  while (map_keys_[probe] != kEmptyKey) {
+    const std::uint64_t home = mix_index(map_keys_[probe]) & map_mask_;
+    // Move the probed entry into the hole unless its home slot lies
+    // (cyclically) after the hole — then the hole does not break its chain.
+    const bool keep = hole <= probe ? (home > hole && home <= probe)
+                                    : (home > hole || home <= probe);
+    if (!keep) {
+      map_keys_[hole] = map_keys_[probe];
+      map_vals_[hole] = map_vals_[probe];
+      hole = probe;
+    }
+    probe = (probe + 1) & map_mask_;
+  }
+  map_keys_[hole] = kEmptyKey;
+}
+
+void ReuseSim::touch_ring(std::uint64_t index) {
+  const std::size_t size = ring_.size();
+  for (std::size_t i = 0; i < size; ++i) {
+    if (ring_[i] == index) {
+      // Move-to-front: everything above the hit shifts down one place.
+      for (std::size_t j = i; j > 0; --j) ring_[j] = ring_[j - 1];
+      ring_[0] = index;
+      return;
+    }
+  }
+  ++misses_;
+  if (size < capacity_) ring_.push_back(0);
+  for (std::size_t j = ring_.size() - 1; j > 0; --j) ring_[j] = ring_[j - 1];
+  ring_[0] = index;
+}
+
+void ReuseSim::touch_flat(std::uint64_t index) {
+  if (const auto* found = map_find(index)) {
+    const std::uint32_t n = *found;
+    if (n == head_) return;
+    // Unlink, then relink at the head.
+    nodes_[nodes_[n].prev].next = nodes_[n].next;
+    if (n == tail_) {
+      tail_ = nodes_[n].prev;
+    } else {
+      nodes_[nodes_[n].next].prev = nodes_[n].prev;
+    }
+    nodes_[n].prev = 0;
+    nodes_[n].next = head_;
+    nodes_[head_].prev = n;
+    head_ = n;
+    return;
+  }
+  ++misses_;
+  std::uint32_t n;
+  if (node_count_ < capacity_) {
+    n = node_count_++;
+    if (nodes_.size() <= n) nodes_.push_back({});
+    if (n == 0) {  // first entry: list of one
+      nodes_[0] = {index, 0, 0};
+      head_ = tail_ = 0;
+      map_insert(index, 0);
+      return;
+    }
+  } else {
+    n = tail_;
+    map_erase(nodes_[n].key);
+    tail_ = nodes_[n].prev;
+  }
+  nodes_[n].key = index;
+  nodes_[n].next = head_;
+  nodes_[head_].prev = n;
+  head_ = n;
+  map_insert(index, n);
+}
+
+void ReuseSim::touch_clock(std::uint64_t index) {
+  if (const auto* found = map_find(index)) {
+    slots_[*found].ref = 1;
+    return;
+  }
+  ++misses_;
+  std::uint32_t slot;
+  if (used_ < capacity_) {
+    slot = used_++;
+    slots_.push_back({});
+  } else {
+    // Second chance: clear ref bits until an unreferenced victim comes by.
+    while (slots_[hand_].ref != 0) {
+      slots_[hand_].ref = 0;
+      hand_ = hand_ + 1 == used_ ? 0 : hand_ + 1;
+    }
+    slot = hand_;
+    map_erase(slots_[slot].key);
+    hand_ = hand_ + 1 == used_ ? 0 : hand_ + 1;
+  }
+  slots_[slot] = {index, 1};
+  map_insert(index, slot);
+}
+
+void ReuseSim::touch_reference(std::uint64_t index) {
+  const auto it = where_.find(index);
+  if (it != where_.end()) {
+    order_.erase(it->second);
+    order_.push_front(index);
+    it->second = order_.begin();
+    return;
+  }
+  ++misses_;
+  order_.push_front(index);
+  where_[index] = order_.begin();
+  if (order_.size() > capacity_) {
+    where_.erase(order_.back());
+    order_.pop_back();
+  }
+}
+
+// --- Recorder ----------------------------------------------------------------
+
+Recorder::Recorder(std::string application_name, RecorderOptions options)
+    : app_name_(std::move(application_name)), options_(options) {}
 
 ArrayId Recorder::register_array(std::string name, std::uint64_t words, int bitwidth,
                                  std::optional<memlib::Location> forced_location) {
@@ -45,9 +227,9 @@ void Recorder::set_reuse_windows(ArrayId array, std::vector<WindowSpec> windows)
   for (const auto& window : windows) {
     DTSE_CHECK(window.sim_words > 0 && window.declared_words > 0,
                "reuse window must hold at least one word");
-    LruSim sim;
-    sim.capacity = window.sim_words;
-    sim.declared_capacity = window.declared_words;
+    ReuseSim sim;
+    sim.init(options_.reuse_sim, options_.exact_ring_capacity, window.sim_words,
+             window.declared_words);
     reuse.push_back(std::move(sim));
   }
 }
@@ -71,23 +253,6 @@ void Recorder::begin_iteration(std::string_view body_name) {
   }
   current_body_ = static_cast<long>(it->second);
   pending_.clear();
-}
-
-void Recorder::LruSim::touch(std::uint64_t index) {
-  const auto it = where.find(index);
-  if (it != where.end()) {
-    order.erase(it->second);
-    order.push_front(index);
-    it->second = order.begin();
-    return;
-  }
-  ++misses;
-  order.push_front(index);
-  where[index] = order.begin();
-  if (order.size() > capacity) {
-    where.erase(order.back());
-    order.pop_back();
-  }
 }
 
 void Recorder::end_iteration() {
@@ -257,7 +422,7 @@ ir::Application Recorder::build(double scale) const {
     ir::ReuseProfile profile;
     for (const auto& sim : arrays_[i].reuse) {
       profile.windows.push_back(
-          {sim.declared_capacity, static_cast<double>(sim.misses) * scale});
+          {sim.declared_capacity(), static_cast<double>(sim.misses()) * scale});
     }
     app.set_reuse_profile(group_of[i], std::move(profile));
   }

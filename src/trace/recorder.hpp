@@ -12,8 +12,18 @@
 //   * same-index co-access pairs between arrays (merging candidates),
 //   * a dependency skeleton (reads gate subsequent writes; accesses to the
 //     same array are ordered), giving the MACP analysis its DAG,
-// and per array an LRU working-set simulation at configurable capacities
+// and per array a working-set reuse simulation at configurable capacities
 // (the data-reuse input of the memory hierarchy decision).
+//
+// The reuse simulation runs on every instrumented read, once per window, so
+// its inner loop is flat and allocation-free: small windows run an exact
+// move-to-front ring, large windows an exact intrusive LRU list over
+// preallocated nodes with an open-addressing index map (`ReuseSimMode::
+// kExact`, the default — miss counts bit-identical to a textbook LRU stack).
+// `ReuseSimMode::kClock` trades exactness above the ring threshold for a
+// clock/second-chance approximation (one ref-bit write per hit), and
+// `ReuseSimMode::kReferenceLru` keeps the original std::list +
+// unordered_map simulator as the equivalence/bench baseline.
 //
 // All aggregation state is flat and slot-indexed: a *slot* is
 // `array * 2 + kind`, so per-(array, kind) statistics live in plain vectors
@@ -44,9 +54,96 @@ namespace dtse::trace {
 
 using ArrayId = std::uint32_t;
 
+/// How reuse windows are simulated (see the header comment).
+enum class ReuseSimMode : std::uint8_t {
+  kExact,         ///< exact LRU misses, flat storage (ring / intrusive list)
+  kClock,         ///< exact ring below the threshold, clock approximation above
+  kReferenceLru,  ///< original list+hash LRU (equivalence tests, baseline bench)
+};
+
+struct RecorderOptions {
+  ReuseSimMode reuse_sim = ReuseSimMode::kExact;
+  /// Largest window capacity handled by the exact move-to-front ring.  In
+  /// kClock mode this is the exact/approximate boundary: the small windows
+  /// that decide register-file-sized hierarchy layers stay exact, only the
+  /// row-buffer-sized windows are approximated.
+  std::uint64_t exact_ring_capacity = 64;
+};
+
+/// One reuse-window simulator.  The backend is fixed at set-up from the
+/// recorder options and the window capacity; `touch` is the per-read hot
+/// path.  Exposed outside `Recorder` so the microbenchmarks can race the
+/// backends directly.
+class ReuseSim {
+ public:
+  void init(ReuseSimMode mode, std::uint64_t ring_threshold, std::uint64_t capacity,
+            std::uint64_t declared_capacity);
+
+  void touch(std::uint64_t index) {
+    switch (backend_) {
+      case Backend::kRing: touch_ring(index); return;
+      case Backend::kFlatLru: touch_flat(index); return;
+      case Backend::kClock: touch_clock(index); return;
+      case Backend::kReference: touch_reference(index); return;
+    }
+  }
+
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::uint64_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t declared_capacity() const { return declared_capacity_; }
+
+ private:
+  enum class Backend : std::uint8_t { kRing, kFlatLru, kClock, kReference };
+
+  struct Node {
+    std::uint64_t key = 0;
+    std::uint32_t prev = 0;
+    std::uint32_t next = 0;
+  };
+  struct ClockSlot {
+    std::uint64_t key = 0;
+    std::uint8_t ref = 0;
+  };
+
+  void touch_ring(std::uint64_t index);
+  void touch_flat(std::uint64_t index);
+  void touch_clock(std::uint64_t index);
+  void touch_reference(std::uint64_t index);
+
+  // Open-addressing index map shared by the flat-LRU and clock backends.
+  [[nodiscard]] std::uint32_t* map_find(std::uint64_t key);
+  void map_insert(std::uint64_t key, std::uint32_t value);
+  void map_erase(std::uint64_t key);
+
+  Backend backend_ = Backend::kRing;
+  std::uint64_t capacity_ = 0;
+  std::uint64_t declared_capacity_ = 0;
+  std::uint64_t misses_ = 0;
+
+  std::vector<std::uint64_t> ring_;  ///< kRing: most-recent-first, <= capacity
+
+  static constexpr std::uint64_t kEmptyKey = ~std::uint64_t{0};
+  std::vector<std::uint64_t> map_keys_;   ///< kEmptyKey = free slot
+  std::vector<std::uint32_t> map_vals_;
+  std::uint64_t map_mask_ = 0;
+
+  std::vector<Node> nodes_;  ///< kFlatLru: preallocated, index-linked
+  std::uint32_t head_ = 0;
+  std::uint32_t tail_ = 0;
+  std::uint32_t node_count_ = 0;
+
+  std::vector<ClockSlot> slots_;  ///< kClock
+  std::uint32_t hand_ = 0;
+  std::uint32_t used_ = 0;
+
+  // kReference: the original simulator, kept verbatim for equivalence tests.
+  std::list<std::uint64_t> order_;  ///< front = most recent
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> where_;
+};
+
 class Recorder {
  public:
-  explicit Recorder(std::string application_name);
+  explicit Recorder(std::string application_name, RecorderOptions options = {});
 
   // --- declaration ---------------------------------------------------------
   /// Declares an array.  `words`/`bitwidth` describe the *product* geometry
@@ -110,22 +207,12 @@ class Recorder {
   [[nodiscard]] std::uint64_t total_events() const { return total_events_; }
 
  private:
-  struct LruSim {
-    std::uint64_t capacity = 0;
-    std::uint64_t declared_capacity = 0;
-    std::uint64_t misses = 0;
-    std::list<std::uint64_t> order;  // front = most recent
-    std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> where;
-
-    void touch(std::uint64_t index);
-  };
-
   struct ArrayInfo {
     std::string name;
     std::uint64_t words = 0;
     int bitwidth = 0;
     std::optional<memlib::Location> forced_location;
-    std::vector<LruSim> reuse;
+    std::vector<ReuseSim> reuse;
   };
 
   /// Aggregated per-slot statistics within one loop body.
@@ -162,6 +249,7 @@ class Recorder {
   static void grow_body_state(BodyInfo& body, std::size_t arrays);
 
   std::string app_name_;
+  RecorderOptions options_;
   std::vector<ArrayInfo> arrays_;
   std::vector<BodyInfo> bodies_;
   std::map<std::string, std::size_t, std::less<>> body_index_;

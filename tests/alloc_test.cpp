@@ -115,6 +115,26 @@ TEST(AssignmentProblem, TripleCliqueIsInfeasibleInOneMemory) {
   EXPECT_TRUE(problem.evaluate({0, 0, 1}, 2).has_value());
 }
 
+TEST(AssignmentProblem, HiddenTriangleIsDetected) {
+  // A triangle {3,4,5} whose members each have a low-index pendant
+  // neighbour (0-3, 1-4, 2-5).  The old greedy clique grab from each seed
+  // absorbed the pendant first and reported two simultaneous accesses; the
+  // exact classification must reject the set (three ports needed).
+  Fixture fix(6);
+  fix.conflicts.add_conflict(fix.groups[3], fix.groups[4], 1.0);
+  fix.conflicts.add_conflict(fix.groups[4], fix.groups[5], 1.0);
+  fix.conflicts.add_conflict(fix.groups[3], fix.groups[5], 1.0);
+  fix.conflicts.add_conflict(fix.groups[0], fix.groups[3], 1.0);
+  fix.conflicts.add_conflict(fix.groups[1], fix.groups[4], 1.0);
+  fix.conflicts.add_conflict(fix.groups[2], fix.groups[5], 1.0);
+  const auto problem = fix.problem();
+  EXPECT_EQ(problem.simultaneous_accesses({0, 1, 2, 3, 4, 5}), 3);
+  EXPECT_FALSE(problem.build_memory({0, 1, 2, 3, 4, 5}).has_value());
+  // The pendant edges alone stay dual-port feasible.
+  EXPECT_EQ(problem.simultaneous_accesses({0, 1, 2, 3}), 2);
+  EXPECT_TRUE(problem.build_memory({0, 1, 2, 3}).has_value());
+}
+
 TEST(AssignmentProblem, SelfConflictPlusPairNeedsSeparation) {
   Fixture fix(2);
   fix.conflicts.add_conflict(fix.groups[0], fix.groups[0], 1.0);

@@ -444,6 +444,72 @@ TEST(Codec, EncoderIsReusable) {
   EXPECT_EQ(decoder.decode(eb), b);
 }
 
+// The tiled (strip-fused) traversal must reproduce the level-order bitstream
+// byte for byte: the adaptive coders make any reordering visible immediately.
+// Asymmetric and odd geometries exercise strip boundaries that do not align
+// with any lattice step.
+class TiledTraversal : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(TiledTraversal, BitstreamIsByteIdenticalToLevelOrder) {
+  const auto [w, h] = GetParam();
+  const auto image = support::make_synthetic_image(w, h, support::SyntheticKind::kCompound, 21);
+  for (const bool lossy : {false, true}) {
+    CodecOptions reference;
+    reference.traversal = Traversal::kLevelOrder;
+    reference.lossy = lossy;
+    reference.quantizer_delta = 8;
+    CodecOptions tiled = reference;
+    tiled.traversal = Traversal::kTiled;
+    CodecOptions tiny_strips = tiled;
+    tiny_strips.tile_rows = 7;  // strips misaligned with every lattice step
+
+    Encoder e_ref(w, h), e_tiled(w, h), e_tiny(w, h);
+    const auto ref = e_ref.encode(image, reference);
+    EXPECT_EQ(e_tiled.encode(image, tiled).stream, ref.stream) << "lossy=" << lossy;
+    EXPECT_EQ(e_tiny.encode(image, tiny_strips).stream, ref.stream) << "lossy=" << lossy;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, TiledTraversal,
+                         ::testing::Values(std::pair{257, 129}, std::pair{129, 257},
+                                           std::pair{64, 64}, std::pair{33, 47},
+                                           std::pair{256, 256}));
+
+TEST(Codec, ProfileIsIdenticalAcrossTraversals) {
+  // The strip fusion interleaves predict/encode iterations but keeps each
+  // body's access sequence (and the image read order feeding the reuse
+  // simulation) unchanged, so the extracted application model must match.
+  const auto image =
+      support::make_synthetic_image(96, 80, support::SyntheticKind::kCompound, 4);
+  auto profile_with = [&](Traversal traversal) {
+    trace::Recorder recorder("btpc");
+    Encoder encoder(recorder, 96, 80, 1024, 1024);
+    CodecOptions options;
+    options.traversal = traversal;
+    (void)encoder.encode(image, options);
+    return recorder.build(16.0);
+  };
+  const auto ref = profile_with(Traversal::kLevelOrder);
+  const auto tiled = profile_with(Traversal::kTiled);
+  ASSERT_EQ(ref.group_count(), tiled.group_count());
+  for (std::size_t i = 0; i < ref.group_count(); ++i) {
+    const ir::BasicGroupId id(static_cast<std::uint32_t>(i));
+    EXPECT_DOUBLE_EQ(ref.totals(id).reads, tiled.totals(id).reads) << ref.group(id).name;
+    EXPECT_DOUBLE_EQ(ref.totals(id).writes, tiled.totals(id).writes) << ref.group(id).name;
+  }
+  const auto image_id = *ref.find_group("image");
+  const auto* ref_reuse = ref.reuse_profile(image_id);
+  const auto* tiled_reuse = tiled.reuse_profile(image_id);
+  ASSERT_NE(ref_reuse, nullptr);
+  ASSERT_NE(tiled_reuse, nullptr);
+  ASSERT_EQ(ref_reuse->windows.size(), tiled_reuse->windows.size());
+  for (std::size_t i = 0; i < ref_reuse->windows.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ref_reuse->windows[i].misses_per_frame,
+                     tiled_reuse->windows[i].misses_per_frame)
+        << "window " << ref_reuse->windows[i].window_words;
+  }
+}
+
 TEST(Codec, InstrumentedEncodeMatchesPlainOutput) {
   const auto image =
       support::make_synthetic_image(64, 64, support::SyntheticKind::kCompound, 4);

@@ -142,6 +142,66 @@ TEST(AssignmentState, IncrementalMatchesFullRecostOver10kRandomMoves) {
   EXPECT_NEAR(incremental.scalar_cost(), weights.scalarize(*summary), 1e-9);
 }
 
+// The O(members) count-maintenance path at the member-set sizes it exists
+// for: 96 groups in 3 memories average 32 members per memory, so every move
+// exercises bitset-sized neighbourhoods, and the full-recost reference (which
+// re-derives the port counts from scratch through `simultaneous_accesses`)
+// must agree move by move — including on which moves are infeasible.
+TEST(AssignmentState, IncrementalMatchesFullRecostWithLargeMemberSets) {
+  constexpr int kMemories = 3;
+  constexpr int kGroups = 96;
+  Fixture fix(kGroups, 2.0);
+  // Sparser pattern than add_conflict_pattern: at 32 members per memory a
+  // dense graph would make every move infeasible and starve the test.
+  for (int i = 0; i < kGroups; ++i) {
+    for (int j = i + 1; j < kGroups; ++j) {
+      if ((i * 7 + j * 3) % 41 == 0) {
+        fix.conflicts.add_conflict(fix.groups[static_cast<std::size_t>(i)],
+                                   fix.groups[static_cast<std::size_t>(j)], 1.0 + j);
+      }
+    }
+  }
+  fix.conflicts.add_conflict(fix.groups[1], fix.groups[1], 2.0);
+  const auto problem = fix.problem();
+  const memlib::CostWeights weights;
+  const auto start = greedy_start(problem, kMemories);
+
+  AssignmentState incremental(problem, kMemories, weights, CostMode::kIncremental);
+  AssignmentState full(problem, kMemories, weights, CostMode::kFullRecost);
+  ASSERT_TRUE(incremental.reset(start));
+  ASSERT_TRUE(full.reset(start));
+
+  support::Rng rng(13);
+  int applied = 0;
+  int rejected = 0;
+  for (int move = 0; move < 10'000; ++move) {
+    const auto group = static_cast<std::size_t>(rng.below(problem.group_count()));
+    const int new_m = static_cast<int>(rng.below(kMemories));
+    if (new_m == incremental.assignment()[group]) continue;
+
+    const auto inc_cost = incremental.apply(group, new_m);
+    const auto full_cost = full.apply(group, new_m);
+    ASSERT_EQ(inc_cost.has_value(), full_cost.has_value()) << "move " << move;
+    if (!inc_cost) {
+      ++rejected;
+      continue;
+    }
+    ++applied;
+    ASSERT_NEAR(*inc_cost, *full_cost, 1e-9) << "move " << move;
+    if (rng.uniform() < 0.3) {
+      incremental.revert();
+      full.revert();
+      ASSERT_NEAR(incremental.scalar_cost(), full.scalar_cost(), 1e-9) << "move " << move;
+    }
+  }
+  ASSERT_GT(applied, 1'000) << "conflict pattern starves the move generator";
+  ASSERT_GT(rejected, 10) << "pattern never exercises the infeasibility path";
+
+  const auto summary = problem.evaluate(incremental.assignment(), kMemories);
+  ASSERT_TRUE(summary.has_value());
+  EXPECT_NEAR(incremental.scalar_cost(), weights.scalarize(*summary), 1e-9);
+}
+
 TEST(Solvers, StartTemperatureIsAFractionOfStartCostWithFloor) {
   SolverOptions options;
   options.sa_initial_temperature = 4.0;
@@ -203,6 +263,40 @@ TEST(Solvers, IncrementalAndFullRecostChainsAreIdentical) {
   EXPECT_EQ(fast.assignment, reference.assignment);
   EXPECT_DOUBLE_EQ(fast.scalar_cost, reference.scalar_cost);
   EXPECT_EQ(fast.accepted_moves, reference.accepted_moves);
+}
+
+TEST(Solvers, DiversifiedStartsAreDeterministicAndNeverLoseToGreedy) {
+  Fixture fix(12, 2.0);
+  fix.add_conflict_pattern();
+  const auto problem = fix.problem();
+  SolverOptions greedy_options;
+  greedy_options.solver = Solver::kGreedy;
+  const auto greedy = solve_assignment(problem, 4, greedy_options);
+  ASSERT_TRUE(greedy.feasible);
+
+  for (const auto start : {SaStart::kGreedy, SaStart::kPerturbedGreedy,
+                           SaStart::kRandomFeasible}) {
+    SolverOptions options;
+    options.solver = Solver::kSimulatedAnnealing;
+    options.sa_iterations = 4000;
+    options.sa_chains = 4;
+    options.seed = 17;
+    options.sa_start = start;
+    const auto a = solve_assignment(problem, 4, options);
+    const auto b = solve_assignment(problem, 4, options);
+    ASSERT_TRUE(a.feasible) << to_string(start);
+    // Deterministic per (seed, chain) configuration...
+    EXPECT_EQ(a.assignment, b.assignment) << to_string(start);
+    EXPECT_DOUBLE_EQ(a.scalar_cost, b.scalar_cost) << to_string(start);
+    // ...at any parallelism...
+    options.sa_parallelism = 4;
+    const auto parallel = solve_assignment(problem, 4, options);
+    EXPECT_EQ(parallel.assignment, a.assignment) << to_string(start);
+    // ...and chain 0's pure greedy start keeps the best-of from regressing.
+    EXPECT_LE(a.scalar_cost, greedy.scalar_cost + 1e-9) << to_string(start);
+    const auto check = problem.evaluate(a.assignment, 4);
+    ASSERT_TRUE(check.has_value()) << to_string(start);
+  }
 }
 
 TEST(Solvers, ChainsSplitTheTotalMoveBudget) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "support/check.hpp"
+#include "support/rng.hpp"
 #include "trace/instrumented_array.hpp"
 #include "trace/recorder.hpp"
 
@@ -251,6 +252,103 @@ TEST(InstrumentedArray2D, RowMajorIndexing) {
   EXPECT_THROW((void)arr.read(0, 3), support::ContractError);
   const auto app = rec.build();
   EXPECT_EQ(app.group(ir::BasicGroupId(0)).words, 12u);
+}
+
+// --- reuse-simulation backends ----------------------------------------------
+
+/// Replays `trace` as reads of one array under the given mode and returns
+/// the per-window miss counts.
+std::vector<double> reuse_misses(ReuseSimMode mode,
+                                 const std::vector<std::uint64_t>& windows,
+                                 const std::vector<std::uint64_t>& trace) {
+  RecorderOptions options;
+  options.reuse_sim = mode;
+  Recorder rec("app", options);
+  const auto a = rec.register_array("a", 1 << 20, 8);
+  rec.set_reuse_windows(a, windows);
+  for (const auto index : trace) {
+    Iteration scope(rec, "body");
+    rec.record(a, index, ir::AccessKind::kRead);
+  }
+  const auto app = rec.build();
+  std::vector<double> misses;
+  for (const auto& window : app.reuse_profile(ir::BasicGroupId(0))->windows) {
+    misses.push_back(window.misses_per_frame);
+  }
+  return misses;
+}
+
+/// Mixed access trace: sequential runs, row-back revisits, random jumps —
+/// the shapes the codec's parent reads produce.
+std::vector<std::uint64_t> mixed_trace(std::uint64_t span, std::uint64_t seed) {
+  support::Rng rng(seed);
+  std::vector<std::uint64_t> trace;
+  trace.reserve(20'000);
+  std::uint64_t cursor = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    switch (i % 8) {
+      case 3: trace.push_back((cursor + span - 37) % span); break;
+      case 5: trace.push_back(rng.below(span)); break;
+      default: trace.push_back(cursor = (cursor + 1) % span);
+    }
+  }
+  return trace;
+}
+
+TEST(ReuseSim, ExactBackendsMatchReferenceLru) {
+  // Capacities straddle the exact-ring threshold (64): small windows run the
+  // move-to-front ring, large ones the flat intrusive LRU.  Both must
+  // reproduce the original list+hash simulator's misses exactly.
+  const std::vector<std::uint64_t> windows{2, 4, 63, 64, 65, 128, 1024};
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const auto trace = mixed_trace(4096, seed);
+    const auto reference = reuse_misses(ReuseSimMode::kReferenceLru, windows, trace);
+    const auto exact = reuse_misses(ReuseSimMode::kExact, windows, trace);
+    ASSERT_EQ(reference.size(), exact.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_DOUBLE_EQ(reference[i], exact[i])
+          << "window " << windows[i] << " seed " << seed;
+    }
+  }
+}
+
+TEST(ReuseSim, ClockIsExactBelowTheRingThreshold) {
+  const std::vector<std::uint64_t> windows{2, 16, 64};  // all <= threshold
+  const auto trace = mixed_trace(512, 9);
+  EXPECT_EQ(reuse_misses(ReuseSimMode::kReferenceLru, windows, trace),
+            reuse_misses(ReuseSimMode::kClock, windows, trace));
+}
+
+TEST(ReuseSim, ClockApproximationIsSaneAboveTheThreshold) {
+  const std::vector<std::uint64_t> windows{256, 1024};
+  const auto trace = mixed_trace(2048, 4);
+  std::uint64_t distinct = 0;
+  {
+    std::vector<bool> seen(4096, false);
+    for (const auto index : trace) {
+      if (!seen[index]) { seen[index] = true; ++distinct; }
+    }
+  }
+  const auto clock = reuse_misses(ReuseSimMode::kClock, windows, trace);
+  const auto exact = reuse_misses(ReuseSimMode::kExact, windows, trace);
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    // Compulsory misses bound any replacement policy from below...
+    EXPECT_GE(clock[i], static_cast<double>(distinct)) << "window " << windows[i];
+    // ...and the approximation must stay in the neighbourhood of exact LRU.
+    EXPECT_LE(clock[i], 1.5 * exact[i] + 1.0) << "window " << windows[i];
+  }
+}
+
+TEST(ReuseSim, ClockNeverEvictsAFittingWorkingSet) {
+  // A working set no larger than the window capacity: after the compulsory
+  // misses the clock must never miss again (nothing is ever evicted).
+  const std::vector<std::uint64_t> windows{256};
+  std::vector<std::uint64_t> trace;
+  for (int round = 0; round < 50; ++round) {
+    for (std::uint64_t i = 0; i < 200; ++i) trace.push_back((i * 7) % 200);
+  }
+  const auto clock = reuse_misses(ReuseSimMode::kClock, windows, trace);
+  EXPECT_DOUBLE_EQ(clock[0], 200.0);
 }
 
 TEST(Recorder, BuildValidatesAndIsRepeatable) {
