@@ -13,11 +13,14 @@
 #include "core/btpc_case_study.hpp"
 #include "core/explorer.hpp"
 #include "graph/conflict_graph.hpp"
+#include "hyperspec/codec.hpp"
 #include "scbd/budget_distribution.hpp"
 #include "support/image.hpp"
 #include "support/rng.hpp"
 #include "trace/instrumented_array.hpp"
 #include "trace/recorder.hpp"
+#include "workloads/hyperspec_workload.hpp"
+#include "workloads/workload.hpp"
 
 namespace {
 
@@ -421,6 +424,48 @@ void BM_ExploreCycleBudgetSweep(benchmark::State& state) {
 }
 BENCHMARK(BM_ExploreCycleBudgetSweep)->Arg(1)->Arg(4)->UseRealTime()
     ->Unit(benchmark::kMillisecond);
+
+// The hyperspectral workload's kernel: one uninstrumented lossless encode of
+// the cube the workload would profile at an Arg-sample spatial edge.
+void BM_HyperspecEncode(benchmark::State& state) {
+  workloads::WorkloadOptions profile_options;
+  profile_options.profile_size = static_cast<int>(state.range(0));
+  const auto shape = workloads::HyperspecWorkload{}.profile_shape(profile_options);
+  const auto cube = hyperspec::make_synthetic_cube(shape, 7);
+  hyperspec::Encoder encoder(shape);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.encode(cube, {}));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(shape.samples()));
+}
+BENCHMARK(BM_HyperspecEncode)->Arg(64)->Arg(128);
+
+// The multi-workload exploration path: merge the registered workloads'
+// profiled models and sweep the shared memory organization across allocation
+// counts (profiles are built once outside the timed region).
+void BM_ExploreMultiWorkload(benchmark::State& state) {
+  static const auto tuned = [] {
+    std::vector<std::pair<std::string, ir::Application>> models;
+    workloads::WorkloadOptions options;
+    options.profile_size = 64;
+    for (const auto name : workloads::workload_names()) {
+      const auto* workload = workloads::find_workload(name);
+      models.emplace_back(std::string(name),
+                          workload->tuned_variant(workload->profile(options)));
+    }
+    return models;
+  }();
+  std::vector<std::pair<std::string, const ir::Application*>> apps;
+  for (const auto& [label, app] : tuned) apps.emplace_back(label, &app);
+  core::Explorer explorer{memlib::MemoryLibrary{}};
+  const std::vector<int> counts = {6, 10, 14};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(explorer.explore_shared_allocation_counts(apps, counts));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(counts.size()));
+}
+BENCHMARK(BM_ExploreMultiWorkload)->Unit(benchmark::kMillisecond);
 
 // The acceptance-criterion macro run: profile a 256x256 BTPC encode and feed
 // the model through one full evaluation.

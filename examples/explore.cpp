@@ -1,0 +1,180 @@
+// Multi-workload system exploration — the generalized successor of the
+// original explore_btpc reproduction.
+//
+// Selects workloads from the registry by name (default: all of them) and
+// walks each through the methodology: golden kernel check, instrumented
+// profiling, MACP analysis, the workload's tuned variant, a storage cycle
+// budget sweep and the memory allocation sweep with its Pareto view.  With
+// two or more workloads it then prices one *shared* memory organization
+// against all of them at once (the merged model) and prints the
+// multi-workload Pareto front — the paper's "global" exploration extended
+// past a single demonstrator.
+//
+// Usage: explore [--size N] [workload ...]
+//        explore --list
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/explorer.hpp"
+#include "core/pareto.hpp"
+#include "support/table.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+using dtse::support::Table;
+
+Table cost_table(const std::string& label_header) {
+  return Table({label_header, "on-chip area [mm2]", "on-chip power [mW]",
+                "off-chip power [mW]"});
+}
+
+void add_cost_row(Table& table, const std::string& label,
+                  const dtse::memlib::CostSummary& summary, bool feasible) {
+  table.add_row({label + (feasible ? "" : " [INFEASIBLE]"),
+                 Table::num(summary.onchip_area_mm2), Table::num(summary.onchip_power_mw),
+                 Table::num(summary.offchip_power_mw)});
+}
+
+void print_usage() {
+  std::cout << "usage: explore [--size N] [workload ...]\n"
+               "       explore --list\n"
+               "registered workloads:\n";
+  for (const auto name : dtse::workloads::workload_names()) {
+    std::cout << "  " << name << ": "
+              << dtse::workloads::find_workload(name)->description() << '\n';
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dtse::workloads::WorkloadOptions workload_options;
+  std::vector<const dtse::workloads::Workload*> selected;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--list") == 0 || std::strcmp(argv[i], "--help") == 0) {
+      print_usage();
+      return 0;
+    }
+    if (std::strcmp(argv[i], "--size") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "--size requires a value\n";
+        return 1;
+      }
+      const int size = std::atoi(argv[++i]);
+      if (size < 32) {  // tiny or garbage sizes profile nothing meaningful
+        std::cerr << "--size must be at least 32 (got '" << argv[i] << "')\n";
+        return 1;
+      }
+      workload_options.profile_size = size;
+      continue;
+    }
+    const auto* workload = dtse::workloads::find_workload(argv[i]);
+    if (workload == nullptr) {
+      std::cerr << "unknown workload '" << argv[i] << "'\n";
+      print_usage();
+      return 1;
+    }
+    if (std::find(selected.begin(), selected.end(), workload) == selected.end()) {
+      selected.push_back(workload);
+    }
+  }
+  if (selected.empty()) {
+    for (const auto name : dtse::workloads::workload_names()) {
+      selected.push_back(dtse::workloads::find_workload(name));
+    }
+  }
+
+  dtse::core::Explorer explorer{dtse::memlib::MemoryLibrary{}};
+  dtse::core::ExplorerOptions options;
+  const std::vector<int> counts = {4, 5, 8, 10, 14};
+
+  // Tuned per-workload models, kept alive for the shared sweep below.
+  std::vector<std::pair<std::string, dtse::ir::Application>> tuned;
+
+  bool all_golden = true;
+  for (const auto* workload : selected) {
+    std::cout << "==== Workload '" << workload->name() << "' ====\n"
+              << workload->description() << "\n\n";
+
+    // A workload whose kernel is broken must not feed the exploration.
+    const bool golden = workload->verify(workload_options);
+    std::cout << "Golden kernel check: " << (golden ? "round trip OK" : "FAILED")
+              << '\n';
+    if (!golden) {
+      all_golden = false;
+      std::cout << "skipping '" << workload->name() << "': broken kernel\n\n";
+      continue;
+    }
+
+    const auto profiled = workload->profile(workload_options);
+    std::cout << profiled.to_string() << '\n';
+
+    const auto macp = explorer.analyze_critical_path(profiled, options);
+    std::cout << "Memory access critical path:\n" << macp.to_string()
+              << "real-time budget " << options.real_time_budget_cycles << " cycles -> "
+              << (macp.feasible_within(
+                      static_cast<double>(options.real_time_budget_cycles))
+                      ? "feasible\n\n"
+                      : "INFEASIBLE, loop transformations required\n\n");
+
+    const auto best = workload->tuned_variant(profiled);
+
+    std::cout << "Storage cycle budget sweep:\n";
+    const std::uint64_t full = options.real_time_budget_cycles;
+    const auto budget_points = explorer.explore_cycle_budgets(
+        best, {full, full * 75 / 100, full * 58 / 100}, options);
+    Table budget_table({"Extra cycles for data-path", "on-chip area [mm2]",
+                        "on-chip power [mW]", "off-chip power [mW]"});
+    for (const auto& point : budget_points) {
+      budget_table.add_row({std::to_string(point.spare_cycles) + " (" +
+                                Table::num(point.spare_percent, 1) + "%)",
+                            Table::num(point.eval.summary.onchip_area_mm2),
+                            Table::num(point.eval.summary.onchip_power_mw),
+                            Table::num(point.eval.summary.offchip_power_mw)});
+    }
+    std::cout << budget_table.to_string() << '\n';
+
+    std::cout << "Memory allocation sweep:\n";
+    const auto allocations = explorer.explore_allocation_counts(best, counts, options);
+    auto alloc_table = cost_table("Version");
+    for (const auto& variant : allocations) {
+      add_cost_row(alloc_table, variant.label, variant.eval.summary,
+                   variant.eval.feasible);
+    }
+    std::cout << alloc_table.to_string() << '\n'
+              << dtse::core::pareto_report(allocations) << '\n';
+
+    tuned.emplace_back(std::string(workload->name()), best);
+  }
+
+  if (tuned.size() > 1) {
+    std::cout << "==== Shared memory organization across ";
+    for (std::size_t i = 0; i < tuned.size(); ++i) {
+      std::cout << (i > 0 ? " + " : "") << tuned[i].first;
+    }
+    std::cout << " ====\n";
+
+    std::vector<std::pair<std::string, const dtse::ir::Application*>> apps;
+    for (const auto& [label, app] : tuned) apps.emplace_back(label, &app);
+
+    const auto shared =
+        explorer.explore_shared_allocation_counts(apps, {4, 6, 8, 10, 12, 14}, options);
+    auto shared_table = cost_table("Shared organization");
+    for (const auto& variant : shared) {
+      add_cost_row(shared_table, variant.label, variant.eval.summary,
+                   variant.eval.feasible);
+    }
+    std::cout << shared_table.to_string() << '\n'
+              << "Multi-workload Pareto front:\n"
+              << dtse::core::pareto_report(shared) << '\n';
+
+    const auto final_eval = explorer.evaluate_shared(apps, options);
+    std::cout << "Shared organization summary: " << final_eval.to_string() << '\n';
+  }
+  return all_golden ? 0 : 1;
+}

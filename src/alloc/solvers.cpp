@@ -267,7 +267,18 @@ ChainOutcome anneal_chain(const AssignmentProblem& problem, int memory_count,
   double temperature = sa_start_temperature(current, options);
   const double decay = std::pow(1e-3, 1.0 / static_cast<double>(std::max(1, iterations)));
 
+  // Reheating schedule: `stagnant` counts consecutive iterations without an
+  // accepted move (rejected, infeasible and no-op proposals alike); reaching
+  // the threshold resets the temperature from the *current* cost, so the
+  // chain resumes exploring instead of freezing in place.
+  const int reheat_after = options.sa_reheat_stagnation;
+  int stagnant = 0;
   for (int it = 0; it < iterations; ++it, temperature *= decay) {
+    if (reheat_after > 0 && stagnant >= reheat_after) {
+      temperature = sa_start_temperature(current, options);
+      stagnant = 0;
+    }
+    ++stagnant;
     const auto group = static_cast<std::size_t>(rng.below(problem.group_count()));
     const int new_m = static_cast<int>(rng.below(static_cast<std::uint64_t>(memory_count)));
     if (new_m == state.assignment()[group]) continue;
@@ -282,6 +293,7 @@ ChainOutcome anneal_chain(const AssignmentProblem& problem, int memory_count,
       continue;
     }
     ++out.accepted;
+    stagnant = 0;
     current = *cost;
     if (current < out.best_cost) {
       out.best_cost = current;

@@ -72,6 +72,13 @@ struct SolverOptions {
   int sa_chains = 4;
   /// Chain start diversification (chain 0 always stays pure greedy).
   SaStart sa_start = SaStart::kPerturbedGreedy;
+  /// Reheating schedule: after this many consecutive iterations without an
+  /// accepted move the chain's temperature is reset to its start value, so a
+  /// frozen chain can climb out of a local basin instead of idling through
+  /// the rest of its budget.  0 disables reheating (the default — identical
+  /// trajectories to the pre-reheat solver).  Deterministic per (seed,
+  /// chain): the stagnation counter consumes no randomness.
+  int sa_reheat_stagnation = 0;
   /// Worker threads for the chains (0 = hardware concurrency).  Defaults to
   /// serial because the exploration sweeps already parallelize across sweep
   /// points; only affects wall time, never the result.

@@ -356,8 +356,9 @@ EncodedImage deserialize(const std::vector<std::uint8_t>& bytes) {
 }
 
 ir::Application profile_btpc(const support::Image& image, int declared_width,
-                             int declared_height, const CodecOptions& options) {
-  trace::Recorder recorder("btpc");
+                             int declared_height, const CodecOptions& options,
+                             const trace::RecorderOptions& recorder_options) {
+  trace::Recorder recorder("btpc", recorder_options);
   Encoder encoder(recorder, image.width(), image.height(), declared_width,
                   declared_height);
   (void)encoder.encode(image, options);

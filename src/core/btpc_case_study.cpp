@@ -11,7 +11,8 @@ ir::Application profile_btpc_demonstrator(const BtpcCaseOptions& options) {
   const auto frame = support::make_synthetic_image(
       options.profile_width, options.profile_height, support::SyntheticKind::kCompound,
       options.image_seed);
-  return btpc::profile_btpc(frame, options.design_width, options.design_height);
+  return btpc::profile_btpc(frame, options.design_width, options.design_height,
+                            options.codec, options.recorder);
 }
 
 namespace {

@@ -14,9 +14,11 @@
 #include <utility>
 #include <vector>
 
+#include "btpc/codec.hpp"
 #include "core/explorer.hpp"
 #include "ir/application.hpp"
 #include "support/image.hpp"
+#include "trace/recorder.hpp"
 
 namespace dtse::core {
 
@@ -27,6 +29,14 @@ struct BtpcCaseOptions {
   int design_width = 1024;      ///< design point declared in the model
   int design_height = 1024;
   std::uint64_t image_seed = 42;
+  /// Traversal knobs of the profiled encode (tile size, level-order
+  /// reference); the bitstream and profile are traversal-invariant, only the
+  /// profiling run's own memory behaviour changes.
+  btpc::CodecOptions codec;
+  /// Reuse-simulation knobs of the profiling run (exact vs clock mode, ring
+  /// threshold) — sweeps over giant declared geometries pick these per
+  /// design point instead of inheriting hard-coded defaults.
+  trace::RecorderOptions recorder;
 };
 
 /// Runs the instrumented BTPC encoder on a synthetic compound image and

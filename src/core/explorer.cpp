@@ -23,6 +23,46 @@ ExplorerOptions without_nested_parallelism(ExplorerOptions options, std::size_t 
 
 }  // namespace
 
+ir::Application merge_applications(
+    const std::vector<std::pair<std::string, const ir::Application*>>& apps,
+    std::string merged_name) {
+  DTSE_CHECK(!apps.empty(), "merging needs at least one application");
+  ir::Application merged(std::move(merged_name));
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    for (std::size_t j = i + 1; j < apps.size(); ++j) {
+      DTSE_CHECK(apps[i].first != apps[j].first,
+                 "duplicate label in merge: " + apps[i].first);
+    }
+  }
+  for (const auto& [label, app] : apps) {
+    DTSE_CHECK(app != nullptr, "null application under label " + label);
+    DTSE_CHECK(!label.empty(), "merged applications need labels");
+    // Groups first: ids of this app shift up by the number of groups already
+    // merged, so accesses remap by a constant offset.
+    const auto offset = static_cast<std::uint32_t>(merged.group_count());
+    for (const auto id : app->group_ids()) {
+      auto group = app->group(id);
+      group.name = label + "." + group.name;
+      merged.add_group(std::move(group));
+    }
+    for (const auto body_id : app->body_ids()) {
+      auto body = app->body(body_id);
+      body.name = label + "." + body.name;
+      for (auto& access : body.accesses) {
+        access.group = ir::BasicGroupId(access.group.value() + offset);
+      }
+      merged.add_body(std::move(body));
+    }
+    for (const auto id : app->group_ids()) {
+      if (const auto* profile = app->reuse_profile(id)) {
+        merged.set_reuse_profile(ir::BasicGroupId(id.value() + offset), *profile);
+      }
+    }
+  }
+  merged.validate();
+  return merged;
+}
+
 std::string Evaluation::to_string() const {
   std::ostringstream os;
   os << summary << (feasible ? "" : " [INFEASIBLE]") << ", spare cycles " << spare_cycles;
@@ -88,6 +128,18 @@ std::vector<BudgetPoint> Explorer::explore_cycle_budgets(
     points[i] = std::move(point);
   });
   return points;
+}
+
+Evaluation Explorer::evaluate_shared(
+    const std::vector<std::pair<std::string, const ir::Application*>>& apps,
+    const ExplorerOptions& options) const {
+  return evaluate(merge_applications(apps, "shared"), options);
+}
+
+std::vector<Variant> Explorer::explore_shared_allocation_counts(
+    const std::vector<std::pair<std::string, const ir::Application*>>& apps,
+    const std::vector<int>& counts, const ExplorerOptions& options) const {
+  return explore_allocation_counts(merge_applications(apps, "shared"), counts, options);
 }
 
 std::vector<Variant> Explorer::explore_allocation_counts(

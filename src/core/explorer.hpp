@@ -62,6 +62,19 @@ struct Variant {
   Evaluation eval;
 };
 
+/// Combines several profiled applications into one model of the
+/// shared-memory scenario: one chip whose memory organization must serve
+/// every workload within the same frame period (the workloads time-share the
+/// datapath, their arrays coexist in the same memories).  Group and body
+/// names get a "<label>." prefix so same-named arrays of different workloads
+/// stay distinct; reuse profiles, forced locations and hierarchy layers are
+/// preserved.  Evaluating the merged model therefore prices exactly one
+/// memory organization against the union of the workloads' access patterns —
+/// the "global" exploration the paper's title promises.
+[[nodiscard]] ir::Application merge_applications(
+    const std::vector<std::pair<std::string, const ir::Application*>>& apps,
+    std::string merged_name);
+
 /// One point of the cycle budget sweep (a Table 3 row).
 struct BudgetPoint {
   std::uint64_t requested_budget = 0;
@@ -101,6 +114,19 @@ class Explorer {
   [[nodiscard]] std::vector<Variant> explore_allocation_counts(
       const ir::Application& app, const std::vector<int>& counts,
       const ExplorerOptions& options = {}) const;
+
+  /// Feedback for one shared memory organization serving several workloads
+  /// at once (evaluates the merged model, see `merge_applications`).
+  [[nodiscard]] Evaluation evaluate_shared(
+      const std::vector<std::pair<std::string, const ir::Application*>>& apps,
+      const ExplorerOptions& options = {}) const;
+
+  /// Multi-workload allocation sweep: the memory-count trade-off of the
+  /// shared organization.  The returned variants carry the merged model, so
+  /// `pareto_front` over them is the multi-workload Pareto front.
+  [[nodiscard]] std::vector<Variant> explore_shared_allocation_counts(
+      const std::vector<std::pair<std::string, const ir::Application*>>& apps,
+      const std::vector<int>& counts, const ExplorerOptions& options = {}) const;
 
  private:
   memlib::MemoryLibrary library_;

@@ -1,0 +1,394 @@
+#include "hyperspec/codec.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <optional>
+
+#include "support/rng.hpp"
+
+namespace dtse::hyperspec {
+
+namespace {
+
+// Rice state seed: any value works as long as encoder and decoder agree; a
+// counter of 4 with a mean-4 accumulator starts the adaptation near k = 2.
+constexpr std::uint32_t kInitCount = 4;
+constexpr std::uint32_t kInitMean = 4;
+
+void check_options(const HsCodecOptions& options) {
+  DTSE_CHECK(options.dynamic_range_bits >= 2 && options.dynamic_range_bits <= 16,
+             "dynamic range out of range");
+  DTSE_CHECK(options.unary_limit >= 1 && options.unary_limit <= 24,
+             "unary limit out of range");
+  DTSE_CHECK(options.rescale_limit >= 8 && options.rescale_limit <= 4096,
+             "rescale limit out of range");
+}
+
+/// Escape payload width: the mapped residual never exceeds maxval — in-band
+/// values are <= 2*theta <= maxval, and the tail is theta + |delta| <=
+/// min(pred, maxval - pred) + max(pred, maxval - pred) = maxval — so D raw
+/// bits always fit it.
+[[nodiscard]] constexpr int raw_bits(const HsCodecOptions& options) {
+  return options.dynamic_range_bits;
+}
+
+/// Causal neighbour-oriented local sum at (y, x), scaled by 4 (CCSDS-123
+/// narrow local sum).  Valid for every position except (0, 0); `s` reads a
+/// sample of the band the sum is taken over.
+template <typename SampleFn>
+[[nodiscard]] int local_sum(SampleFn&& s, int y, int x, int width) {
+  if (y == 0) return 4 * s(y, x - 1);
+  if (x == 0) {
+    const int north = s(y - 1, x);
+    const int north_east = width > 1 ? s(y - 1, x + 1) : north;
+    return 2 * (north + north_east);
+  }
+  const int west = s(y, x - 1);
+  const int north_west = s(y - 1, x - 1);
+  const int north = s(y - 1, x);
+  const int north_east = x + 1 < width ? s(y - 1, x + 1) : north;
+  return west + north_west + north + north_east;
+}
+
+/// Prediction for the sample at (y, x).  Band 0 predicts the spatial local
+/// mean; later bands start from the co-located previous-band sample and
+/// correct it by the difference of the two bands' local sums (the local
+/// spatial structure travels across bands, the offset does not).
+template <typename CurrFn, typename PrevFn>
+[[nodiscard]] int predict_sample(bool has_prev, CurrFn&& curr, PrevFn&& prev, int y,
+                                 int x, int width, int maxval) {
+  if (!has_prev) {
+    if (y == 0 && x == 0) return (maxval + 1) / 2;
+    return std::clamp((local_sum(curr, y, x, width) + 2) >> 2, 0, maxval);
+  }
+  const int colocated = prev(y, x);
+  if (y == 0 && x == 0) return colocated;
+  const int diff = local_sum(curr, y, x, width) - local_sum(prev, y, x, width);
+  return std::clamp(colocated + ((diff + 2) >> 2), 0, maxval);
+}
+
+/// CCSDS-style bounded residual mapping: residuals within the symmetric
+/// feasible band [-theta, theta] interleave by sign; the one-sided tail
+/// beyond it maps monotonically (its sign is implied by which bound of
+/// [0, maxval] the prediction sits closer to).
+[[nodiscard]] int map_residual(int sample, int pred, int maxval) {
+  const int delta = sample - pred;
+  const int theta = std::min(pred, maxval - pred);
+  if (delta >= -theta && delta <= theta) {
+    return delta >= 0 ? 2 * delta : -2 * delta - 1;
+  }
+  return theta + std::abs(delta);
+}
+
+[[nodiscard]] int unmap_residual(int mapped, int pred, int maxval) {
+  const int theta = std::min(pred, maxval - pred);
+  if (mapped <= 2 * theta) {
+    return (mapped & 1) == 0 ? mapped >> 1 : -((mapped + 1) >> 1);
+  }
+  const int magnitude = mapped - theta;
+  return pred <= maxval - pred ? magnitude : -magnitude;
+}
+
+/// Sample-adaptive Rice parameter: largest k whose per-sample cost estimate
+/// (counter << k) stays within the accumulated residual magnitude.
+[[nodiscard]] int rice_k(std::uint32_t accum, std::uint32_t count, int max_k) {
+  int k = 0;
+  while (k < max_k && (static_cast<std::uint64_t>(count) << (k + 1)) <= accum) ++k;
+  return k;
+}
+
+void rice_update(std::uint32_t& accum, std::uint32_t& count, std::uint32_t mapped,
+                 int rescale_limit) {
+  accum += mapped;
+  count += 1;
+  if (count >= static_cast<std::uint32_t>(rescale_limit)) {
+    accum = (accum + 1) >> 1;
+    count = (count + 1) >> 1;
+  }
+}
+
+void rice_encode(btpc::BitWriter& writer, std::uint32_t mapped, int k,
+                 const HsCodecOptions& options) {
+  const std::uint32_t quotient = mapped >> k;
+  if (quotient < static_cast<std::uint32_t>(options.unary_limit)) {
+    writer.put(0, static_cast<int>(quotient));
+    writer.put(1, 1);
+    if (k > 0) writer.put(mapped & ((1u << k) - 1u), k);
+    return;
+  }
+  // Escape: a maximal run of zeros (no terminator) followed by the raw value.
+  writer.put(0, options.unary_limit);
+  writer.put(mapped, raw_bits(options));
+}
+
+[[nodiscard]] std::uint32_t rice_decode(btpc::BitReader& reader, int k,
+                                        const HsCodecOptions& options) {
+  int quotient = 0;
+  while (quotient < options.unary_limit && reader.get_bit() == 0) ++quotient;
+  if (quotient == options.unary_limit) return reader.get(raw_bits(options));
+  const std::uint32_t low = k > 0 ? reader.get(k) : 0;
+  return (static_cast<std::uint32_t>(quotient) << k) | low;
+}
+
+/// Fills zeroed declared-geometry fields from the profiled shape.  Runs
+/// before the instrumented members are constructed, so it also carries the
+/// geometry validation for the delegating constructor.
+[[nodiscard]] CubeShape fill_declared(CubeShape declared, const CubeShape& shape) {
+  DTSE_CHECK(shape.valid(), "cube geometry must be positive");
+  if (declared.bands == 0) declared.bands = shape.bands;
+  if (declared.height == 0) declared.height = shape.height;
+  if (declared.width == 0) declared.width = shape.width;
+  DTSE_CHECK(declared.valid(), "declared cube geometry must be positive");
+  return declared;
+}
+
+}  // namespace
+
+Cube make_synthetic_cube(CubeShape shape, std::uint64_t seed, int dynamic_range_bits) {
+  DTSE_CHECK(shape.valid(), "cube geometry must be positive");
+  DTSE_CHECK(dynamic_range_bits >= 2 && dynamic_range_bits <= 16,
+             "dynamic range out of range");
+  const int maxval = (1 << dynamic_range_bits) - 1;
+  support::Rng rng(seed);
+
+  // One low-frequency spatial basis shared by every band: two sinusoids plus
+  // a diagonal ramp, normalized to [0, 1].
+  const double fx = rng.uniform(0.5, 2.5);
+  const double fy = rng.uniform(0.5, 2.5);
+  const double phase_x = rng.uniform(0.0, 6.28318530717958648);
+  const double phase_y = rng.uniform(0.0, 6.28318530717958648);
+  std::vector<double> basis(shape.plane_samples());
+  for (int y = 0; y < shape.height; ++y) {
+    for (int x = 0; x < shape.width; ++x) {
+      const double u = shape.width > 1 ? static_cast<double>(x) / (shape.width - 1) : 0.0;
+      const double v =
+          shape.height > 1 ? static_cast<double>(y) / (shape.height - 1) : 0.0;
+      const double wave = 0.25 * std::sin(6.28318530717958648 * fx * u + phase_x) +
+                          0.25 * std::sin(6.28318530717958648 * fy * v + phase_y);
+      basis[static_cast<std::size_t>(y) * shape.width + x] =
+          std::clamp(0.5 + 0.2 * (u + v - 1.0) + wave, 0.0, 1.0);
+    }
+  }
+
+  // Per-band gain/offset drift as a small random walk (strong band-to-band
+  // correlation), plus a sprinkle of per-sample sensor noise.
+  Cube cube(shape);
+  double gain = rng.uniform(0.4, 0.8);
+  double offset = rng.uniform(0.05, 0.15);
+  for (int z = 0; z < shape.bands; ++z) {
+    gain = std::clamp(gain * rng.uniform(0.95, 1.05), 0.2, 0.9);
+    offset = std::clamp(offset + rng.uniform(-0.02, 0.02), 0.0, 0.3);
+    for (int y = 0; y < shape.height; ++y) {
+      for (int x = 0; x < shape.width; ++x) {
+        const double level =
+            offset + gain * basis[static_cast<std::size_t>(y) * shape.width + x];
+        const int noise = static_cast<int>(rng.below(5)) - 2;
+        const int value =
+            static_cast<int>(std::llround(level * maxval)) + noise;
+        cube.at(z, y, x) = static_cast<std::uint16_t>(std::clamp(value, 0, maxval));
+      }
+    }
+  }
+  return cube;
+}
+
+/// RAII iteration marker that is a no-op for uninstrumented encoders.
+class Encoder::IterationScope {
+ public:
+  IterationScope(trace::Recorder* recorder, std::string_view body) {
+    if (recorder != nullptr) scope_.emplace(*recorder, body);
+  }
+
+ private:
+  std::optional<trace::Iteration> scope_;
+};
+
+Encoder::Encoder(CubeShape shape)
+    : shape_(detail::checked_shape(shape)),
+      cube_("cube", shape_.samples()),
+      residual_("residual", shape_.plane_samples()),
+      rice_accum_("rice_accum", static_cast<std::size_t>(shape_.bands)),
+      rice_count_("rice_count", static_cast<std::size_t>(shape_.bands)),
+      bit_accum_("bit_accum", 4),
+      out_buf_("out_buf", 4096) {}
+
+Encoder::Encoder(trace::Recorder& recorder, CubeShape shape, CubeShape declared,
+                 const HsCodecOptions& options)
+    : Encoder(recorder, shape, fill_declared(declared, shape), options, true) {}
+
+Encoder::Encoder(trace::Recorder& recorder, CubeShape shape, CubeShape declared,
+                 const HsCodecOptions& options, bool)
+    : recorder_(&recorder),
+      shape_(shape),
+      profile_options_((check_options(options), options)),
+      // Bitwidths derive from the coder options: samples and mapped
+      // residuals span the dynamic range; the Rice accumulator/counter are
+      // sized for their overflow-free maxima at the rescale threshold.
+      cube_(recorder, "cube", shape.samples(), options.dynamic_range_bits, 0,
+            declared.samples()),
+      residual_(recorder, "residual", shape.plane_samples(),
+                options.dynamic_range_bits, 0, declared.plane_samples()),
+      rice_accum_(recorder, "rice_accum", static_cast<std::size_t>(shape.bands),
+                  options.dynamic_range_bits +
+                      std::bit_width(static_cast<unsigned>(options.rescale_limit - 1)),
+                  0, static_cast<std::uint64_t>(declared.bands)),
+      rice_count_(recorder, "rice_count", static_cast<std::size_t>(shape.bands),
+                  std::bit_width(static_cast<unsigned>(options.rescale_limit)), 0,
+                  static_cast<std::uint64_t>(declared.bands)),
+      bit_accum_(recorder, "bit_accum", 4, 20),
+      out_buf_(recorder, "out_buf", 4096, 16) {
+  // The cube is the data-reuse candidate: row-buffer windows scale with the
+  // declared width, band-plane windows with the declared plane — the "keep
+  // the previous band on chip" hierarchy option is the hyperspectral analogue
+  // of BTPC's line buffers.
+  // Register-file-sized windows are geometry-independent; row and plane
+  // windows scale with the declared geometry so "one row" / "one band" keep
+  // their meaning at the design point.  A window whose *simulated* capacity
+  // would not exceed the previous rung's is dropped (narrow profile cubes
+  // would otherwise simulate a declared row with fewer words than a register
+  // window and invert the miss curve), so the ladder is monotone in both
+  // simulated and declared words for every geometry.
+  const auto row = static_cast<std::uint64_t>(shape_.width);
+  const auto declared_row = static_cast<std::uint64_t>(declared.width);
+  const std::uint64_t plane = shape_.plane_samples();
+  const std::uint64_t declared_plane = declared.plane_samples();
+  std::vector<trace::Recorder::WindowSpec> windows = {{4, 4}, {12, 12}};
+  auto add_window = [&windows](std::uint64_t sim, std::uint64_t declared_words) {
+    if (sim > windows.back().sim_words && declared_words > windows.back().declared_words) {
+      windows.push_back({sim, declared_words});
+    }
+  };
+  for (const std::uint64_t rows : {1u, 4u}) {
+    add_window(rows * row, rows * declared_row);
+  }
+  add_window(plane, declared_plane);
+  add_window(2 * plane, 2 * declared_plane);
+  recorder.set_reuse_windows(cube_.id(), std::move(windows));
+}
+
+void Encoder::predict_band(int z, int maxval) {
+  const int width = shape_.width;
+  auto curr = [&](int y, int x) { return cube_sample(z, y, x); };
+  auto prev = [&](int y, int x) { return cube_sample(z - 1, y, x); };
+  for (int y = 0; y < shape_.height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      IterationScope scope(recorder_, "hs_predict");
+      const int pred = predict_sample(z > 0, curr, prev, y, x, width, maxval);
+      const int sample = cube_sample(z, y, x);
+      DTSE_CHECK(sample <= maxval, "cube sample exceeds the declared dynamic range");
+      const int mapped = map_residual(sample, pred, maxval);
+      residual_.write(static_cast<std::size_t>(y) * width + x,
+                      static_cast<std::uint16_t>(mapped));
+    }
+  }
+}
+
+void Encoder::encode_band(int z, btpc::BitWriter& writer, const HsCodecOptions& options) {
+  const int width = shape_.width;
+  const int max_k = options.dynamic_range_bits;
+  for (int y = 0; y < shape_.height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      IterationScope scope(recorder_, "hs_encode");
+      const std::uint32_t mapped =
+          residual_.read(static_cast<std::size_t>(y) * width + x);
+      std::uint32_t accum = rice_accum_.read(static_cast<std::size_t>(z));
+      std::uint32_t count = rice_count_.read(static_cast<std::size_t>(z));
+      rice_encode(writer, mapped, rice_k(accum, count, max_k), options);
+      rice_update(accum, count, mapped, options.rescale_limit);
+      rice_accum_.write(static_cast<std::size_t>(z), accum);
+      rice_count_.write(static_cast<std::size_t>(z),
+                        static_cast<std::uint16_t>(count));
+    }
+  }
+}
+
+EncodedCube Encoder::encode(const Cube& cube, const HsCodecOptions& options) {
+  DTSE_CHECK(cube.shape() == shape_, "cube geometry does not match the encoder");
+  check_options(options);
+  DTSE_CHECK(recorder_ == nullptr ||
+                 (options.dynamic_range_bits == profile_options_.dynamic_range_bits &&
+                  options.rescale_limit == profile_options_.rescale_limit),
+             "encode options must match the instrumented model's declaration");
+  const int maxval = (1 << options.dynamic_range_bits) - 1;
+
+  // Load the input cube (arrival of the samples is not part of the encoder's
+  // access profile, like the BTPC frame load).
+  cube_.raw() = cube.samples();
+
+  btpc::BitWriter writer;
+  writer.attach(&bit_accum_, &out_buf_);
+
+  for (int z = 0; z < shape_.bands; ++z) {
+    {
+      IterationScope scope(recorder_, "hs_band_setup");
+      rice_accum_.write(static_cast<std::size_t>(z), kInitCount * kInitMean);
+      rice_count_.write(static_cast<std::size_t>(z), kInitCount);
+    }
+    predict_band(z, maxval);
+    encode_band(z, writer, options);
+  }
+
+  EncodedCube encoded;
+  encoded.shape = shape_;
+  encoded.dynamic_range_bits = options.dynamic_range_bits;
+  encoded.unary_limit = options.unary_limit;
+  encoded.rescale_limit = options.rescale_limit;
+  encoded.stream = writer.finish();
+  return encoded;
+}
+
+Cube Decoder::decode(const EncodedCube& encoded) {
+  DTSE_CHECK(encoded.shape.valid(), "malformed encoded cube");
+  HsCodecOptions options;
+  options.dynamic_range_bits = encoded.dynamic_range_bits;
+  options.unary_limit = encoded.unary_limit;
+  options.rescale_limit = encoded.rescale_limit;
+  check_options(options);
+  const int maxval = (1 << options.dynamic_range_bits) - 1;
+  const int max_k = options.dynamic_range_bits;
+  const int width = encoded.shape.width;
+
+  Cube cube(encoded.shape);
+  btpc::BitReader reader(encoded.stream);
+  std::vector<std::uint32_t> accum(static_cast<std::size_t>(encoded.shape.bands));
+  std::vector<std::uint32_t> count(static_cast<std::size_t>(encoded.shape.bands));
+
+  for (int z = 0; z < encoded.shape.bands; ++z) {
+    accum[static_cast<std::size_t>(z)] = kInitCount * kInitMean;
+    count[static_cast<std::size_t>(z)] = kInitCount;
+    auto curr = [&](int y, int x) { return static_cast<int>(cube.at(z, y, x)); };
+    auto prev = [&](int y, int x) { return static_cast<int>(cube.at(z - 1, y, x)); };
+    for (int y = 0; y < encoded.shape.height; ++y) {
+      for (int x = 0; x < width; ++x) {
+        const int k =
+            rice_k(accum[static_cast<std::size_t>(z)], count[static_cast<std::size_t>(z)],
+                   max_k);
+        const std::uint32_t mapped = rice_decode(reader, k, options);
+        rice_update(accum[static_cast<std::size_t>(z)], count[static_cast<std::size_t>(z)],
+                    mapped, options.rescale_limit);
+        // Prediction sees exactly the samples the encoder saw: decoding is
+        // lossless and strictly causal in (band, raster) order.
+        const int pred = predict_sample(z > 0, curr, prev, y, x, width, maxval);
+        const int sample = pred + unmap_residual(static_cast<int>(mapped), pred, maxval);
+        DTSE_CHECK(sample >= 0 && sample <= maxval, "corrupt hyperspectral stream");
+        cube.at(z, y, x) = static_cast<std::uint16_t>(sample);
+      }
+    }
+  }
+  return cube;
+}
+
+ir::Application profile_hyperspec(const Cube& cube, CubeShape declared,
+                                  const HsCodecOptions& options,
+                                  const trace::RecorderOptions& recorder_options) {
+  trace::Recorder recorder("hyperspec", recorder_options);
+  Encoder encoder(recorder, cube.shape(), declared, options);
+  (void)encoder.encode(cube, options);
+  const CubeShape d = fill_declared(declared, cube.shape());
+  const double scale = static_cast<double>(d.samples()) /
+                       static_cast<double>(cube.shape().samples());
+  return recorder.build(scale);
+}
+
+}  // namespace dtse::hyperspec

@@ -1,0 +1,32 @@
+// The paper's BTPC demonstrator packaged as a registered workload.
+#pragma once
+
+#include "btpc/codec.hpp"
+#include "workloads/workload.hpp"
+
+namespace dtse::workloads {
+
+class BtpcWorkload final : public Workload {
+ public:
+  /// `codec` exposes the traversal knobs of the profiled encode (tiled vs
+  /// level-order, tile height, lossy quantizer).
+  explicit BtpcWorkload(btpc::CodecOptions codec = {}) : codec_(codec) {}
+
+  [[nodiscard]] std::string_view name() const override { return "btpc"; }
+  [[nodiscard]] std::string_view description() const override {
+    return "BTPC still-image codec (quincunx pyramid, adaptive Huffman) — "
+           "the paper's demonstrator; 1024x1024 declared design point";
+  }
+
+  [[nodiscard]] ir::Application profile(const WorkloadOptions& options = {}) const override;
+  [[nodiscard]] bool verify(const WorkloadOptions& options = {}) const override;
+
+  /// Structuring (ridge+pyr merged) and the layer-0 hierarchy winner — the
+  /// paper's best variant.
+  [[nodiscard]] ir::Application tuned_variant(const ir::Application& profiled) const override;
+
+ private:
+  btpc::CodecOptions codec_;
+};
+
+}  // namespace dtse::workloads

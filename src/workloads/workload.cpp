@@ -1,0 +1,44 @@
+#include "workloads/workload.hpp"
+
+#include "support/check.hpp"
+#include "workloads/btpc_workload.hpp"
+#include "workloads/hyperspec_workload.hpp"
+
+namespace dtse::workloads {
+
+namespace {
+
+std::vector<std::unique_ptr<Workload>>& registry() {
+  static std::vector<std::unique_ptr<Workload>> workloads = [] {
+    std::vector<std::unique_ptr<Workload>> builtins;
+    builtins.push_back(std::make_unique<BtpcWorkload>());
+    builtins.push_back(std::make_unique<HyperspecWorkload>());
+    return builtins;
+  }();
+  return workloads;
+}
+
+}  // namespace
+
+const Workload* find_workload(std::string_view name) {
+  for (const auto& workload : registry()) {
+    if (workload->name() == name) return workload.get();
+  }
+  return nullptr;
+}
+
+std::vector<std::string_view> workload_names() {
+  std::vector<std::string_view> names;
+  names.reserve(registry().size());
+  for (const auto& workload : registry()) names.push_back(workload->name());
+  return names;
+}
+
+void register_workload(std::unique_ptr<Workload> workload) {
+  DTSE_CHECK(workload != nullptr, "cannot register a null workload");
+  DTSE_CHECK(find_workload(workload->name()) == nullptr,
+             "duplicate workload name: " + std::string(workload->name()));
+  registry().push_back(std::move(workload));
+}
+
+}  // namespace dtse::workloads

@@ -1,0 +1,79 @@
+// Pluggable case studies — the workload subsystem.
+//
+// The paper demonstrates its methodology on one application (BTPC), but the
+// methodology itself is application-agnostic: anything that can (1) run its
+// kernel under a `trace::Recorder` through `InstrumentedArray` accesses,
+// (2) verify a golden output of that same kernel, and (3) hand the profiled
+// model to the system-level transforms can be explored.  `Workload` is that
+// contract, and the registry makes workloads addressable by name so drivers
+// (the `explore` example, benches, tests) sweep *any* of them — including
+// several at once against one shared memory organization (see
+// `core::merge_applications`).
+//
+// Built-ins: "btpc" (the paper's demonstrator) and "hyperspec" (a
+// CCSDS-123-style lossless hyperspectral compressor with a very different,
+// band-interleaved 3-D access-pattern family).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "ir/application.hpp"
+#include "trace/recorder.hpp"
+
+namespace dtse::workloads {
+
+/// Profiling knobs shared by every workload.  Workload-specific tunables
+/// (codec traversal, cube aspect, ...) live on the concrete workload types;
+/// these are the knobs a generic driver can always turn.
+struct WorkloadOptions {
+  /// Edge length of the profiled input (frame edge / band edge); 0 picks the
+  /// workload's default profile geometry.  The *declared* design geometry is
+  /// a property of the workload, not of the profiling run.
+  int profile_size = 0;
+  /// Seed of the synthetic input generator.
+  std::uint64_t seed = 42;
+  /// Reuse-simulation knobs of the profiling run, forwarded to the recorder
+  /// (exact vs clock mode, exact-ring threshold).
+  trace::RecorderOptions recorder;
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  [[nodiscard]] virtual std::string_view description() const = 0;
+
+  /// Runs the instrumented kernel on a synthetic input and returns the
+  /// pruned application model at the workload's declared design geometry.
+  [[nodiscard]] virtual ir::Application profile(const WorkloadOptions& options = {}) const = 0;
+
+  /// Golden check: runs the same kernel end-to-end uninstrumented and
+  /// verifies its output (e.g. a bit-exact compression round trip).  A
+  /// workload whose kernel is broken must not feed the exploration.
+  [[nodiscard]] virtual bool verify(const WorkloadOptions& options = {}) const = 0;
+
+  /// The variant the physical-memory sweeps run on, after the workload's
+  /// system-level decisions (structuring, hierarchy) are applied to the
+  /// profiled model.  Defaults to the profiled model itself.
+  [[nodiscard]] virtual ir::Application tuned_variant(const ir::Application& profiled) const {
+    return profiled;
+  }
+};
+
+/// Registered workload by name, or nullptr when unknown.  The returned
+/// pointer stays valid for the process lifetime.
+[[nodiscard]] const Workload* find_workload(std::string_view name);
+
+/// Names of every registered workload, in registration order (built-ins
+/// first).
+[[nodiscard]] std::vector<std::string_view> workload_names();
+
+/// Registers an additional workload (throws support::ContractError on a
+/// duplicate name).  Built-ins are registered automatically.
+void register_workload(std::unique_ptr<Workload> workload);
+
+}  // namespace dtse::workloads

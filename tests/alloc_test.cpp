@@ -225,6 +225,56 @@ TEST(Solvers, AnnealingIsDeterministicUnderSeed) {
   EXPECT_DOUBLE_EQ(a.scalar_cost, b.scalar_cost);
 }
 
+TEST(Solvers, ReheatingIsOffByDefaultAndDeterministic) {
+  Fixture fix(9);
+  for (int i = 0; i < 4; ++i) {
+    fix.conflicts.add_conflict(fix.groups[i], fix.groups[i + 1], 1.0);
+  }
+  const auto problem = fix.problem();
+  SolverOptions options;
+  options.solver = Solver::kSimulatedAnnealing;
+  options.sa_iterations = 4000;
+  options.seed = 7;
+  ASSERT_EQ(options.sa_reheat_stagnation, 0) << "reheating must default off";
+  const auto baseline = solve_assignment(problem, 4, options);
+
+  options.sa_reheat_stagnation = 50;
+  const auto reheated_a = solve_assignment(problem, 4, options);
+  const auto reheated_b = solve_assignment(problem, 4, options);
+  ASSERT_TRUE(baseline.feasible && reheated_a.feasible);
+  // Deterministic per (seed, chains) with reheating on.
+  EXPECT_EQ(reheated_a.assignment, reheated_b.assignment);
+  EXPECT_DOUBLE_EQ(reheated_a.scalar_cost, reheated_b.scalar_cost);
+  EXPECT_EQ(reheated_a.accepted_moves, reheated_b.accepted_moves);
+}
+
+TEST(Solvers, ReheatingUnfreezesAStagnantChain) {
+  Fixture fix(10);
+  for (int i = 0; i < 6; ++i) {
+    fix.conflicts.add_conflict(fix.groups[i], fix.groups[(i + 3) % 10], 1.0);
+  }
+  const auto problem = fix.problem();
+  SolverOptions options;
+  options.solver = Solver::kSimulatedAnnealing;
+  options.sa_chains = 1;
+  options.sa_iterations = 20000;
+  // With the geometric decay the late schedule is effectively frozen (only
+  // strict improvements pass, and those dry up), so the stagnation counter
+  // must fire and restore acceptance activity.
+  const auto frozen = solve_assignment(problem, 4, options);
+
+  options.sa_reheat_stagnation = 200;
+  const auto reheated = solve_assignment(problem, 4, options);
+  ASSERT_TRUE(frozen.feasible && reheated.feasible);
+  EXPECT_GT(reheated.accepted_moves, frozen.accepted_moves);
+  // Best-of still includes the greedy start, so quality never regresses
+  // below it (the chains themselves may diverge either way).
+  SolverOptions greedy_options = options;
+  greedy_options.solver = Solver::kGreedy;
+  const auto greedy = solve_assignment(problem, 4, greedy_options);
+  EXPECT_LE(reheated.scalar_cost, greedy.scalar_cost + 1e-9);
+}
+
 TEST(Solvers, InfeasibleMemoryCountReported) {
   Fixture fix(4);
   for (int i = 0; i < 4; ++i) {

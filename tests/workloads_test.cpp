@@ -1,0 +1,190 @@
+// Tests for the workload registry and the multi-workload exploration path:
+// every registered workload must profile -> allocate -> explore without
+// error, and a merged (shared-organization) model must price correctly.
+#include <gtest/gtest.h>
+
+#include "core/explorer.hpp"
+#include "core/pareto.hpp"
+#include "support/check.hpp"
+#include "workloads/btpc_workload.hpp"
+#include "workloads/hyperspec_workload.hpp"
+#include "workloads/workload.hpp"
+
+namespace dtse::workloads {
+namespace {
+
+/// Small profile geometry so the whole registry sweep runs in seconds.
+WorkloadOptions small_options() {
+  WorkloadOptions options;
+  options.profile_size = 64;
+  return options;
+}
+
+core::Explorer make_explorer() { return core::Explorer{memlib::MemoryLibrary{}}; }
+
+TEST(Registry, BuiltinsAreRegistered) {
+  const auto names = workload_names();
+  ASSERT_GE(names.size(), 2u);
+  EXPECT_NE(find_workload("btpc"), nullptr);
+  EXPECT_NE(find_workload("hyperspec"), nullptr);
+  EXPECT_EQ(find_workload("no-such-workload"), nullptr);
+  for (const auto name : names) {
+    const auto* workload = find_workload(name);
+    ASSERT_NE(workload, nullptr);
+    EXPECT_EQ(workload->name(), name);
+    EXPECT_FALSE(workload->description().empty());
+  }
+}
+
+TEST(Registry, RejectsDuplicateNames) {
+  EXPECT_THROW(register_workload(std::make_unique<BtpcWorkload>()),
+               support::ContractError);
+  EXPECT_THROW(register_workload(nullptr), support::ContractError);
+}
+
+// The ISSUE's registry acceptance test: every registered workload profiles,
+// allocates and explores without error.
+TEST(Registry, EveryWorkloadProfilesAllocatesExplores) {
+  const auto explorer = make_explorer();
+  for (const auto name : workload_names()) {
+    const auto* workload = find_workload(name);
+    ASSERT_NE(workload, nullptr);
+    EXPECT_TRUE(workload->verify(small_options())) << name << ": golden check failed";
+
+    const auto profiled = workload->profile(small_options());
+    EXPECT_NO_THROW(profiled.validate()) << name;
+    EXPECT_GT(profiled.group_count(), 0u) << name;
+    EXPECT_GT(profiled.total_accesses_per_frame(), 0.0) << name;
+
+    const auto best = workload->tuned_variant(profiled);
+    EXPECT_NO_THROW(best.validate()) << name;
+
+    const auto eval = explorer.evaluate(best);
+    EXPECT_TRUE(eval.feasible) << name << ": " << eval.to_string();
+    EXPECT_FALSE(eval.allocation.onchip.empty()) << name;
+
+    const auto sweep = explorer.explore_allocation_counts(best, {4, 8});
+    ASSERT_EQ(sweep.size(), 2u) << name;
+    for (const auto& variant : sweep) {
+      EXPECT_TRUE(variant.eval.feasible) << name << " / " << variant.label;
+    }
+  }
+}
+
+TEST(Workloads, ProfilesAreDeterministicPerSeed) {
+  for (const auto name : workload_names()) {
+    const auto* workload = find_workload(name);
+    const auto a = workload->profile(small_options());
+    const auto b = workload->profile(small_options());
+    EXPECT_EQ(a.to_string(), b.to_string()) << name;
+  }
+}
+
+TEST(Workloads, RecorderOptionsReachTheProfiler) {
+  // The plumbing satellite: a sweep can pick the clock reuse approximation
+  // per design point.  Access counts stay identical, only the reuse miss
+  // estimates may move.
+  auto clocked = small_options();
+  clocked.recorder.reuse_sim = trace::ReuseSimMode::kClock;
+  clocked.recorder.exact_ring_capacity = 16;
+  for (const auto name : workload_names()) {
+    const auto* workload = find_workload(name);
+    const auto exact = workload->profile(small_options());
+    const auto clock = workload->profile(clocked);
+    EXPECT_DOUBLE_EQ(exact.total_accesses_per_frame(), clock.total_accesses_per_frame())
+        << name;
+    EXPECT_NO_THROW(clock.validate()) << name;
+  }
+}
+
+TEST(Workloads, BtpcCodecKnobsAreTraversalInvariant) {
+  // BtpcCaseOptions no longer hard-codes CodecOptions: an odd tile height
+  // must yield the same profile (tiling is bit- and profile-invariant).
+  btpc::CodecOptions tiled;
+  tiled.tile_rows = 17;
+  btpc::CodecOptions level_order;
+  level_order.traversal = btpc::Traversal::kLevelOrder;
+  const auto base = BtpcWorkload{}.profile(small_options());
+  const auto odd_tiles = BtpcWorkload{tiled}.profile(small_options());
+  const auto reference = BtpcWorkload{level_order}.profile(small_options());
+  EXPECT_EQ(base.to_string(), odd_tiles.to_string());
+  EXPECT_EQ(base.to_string(), reference.to_string());
+}
+
+TEST(MultiWorkload, MergePreservesTotalsAndReuse) {
+  const auto btpc = find_workload("btpc")->profile(small_options());
+  const auto hyper = find_workload("hyperspec")->profile(small_options());
+  const auto merged =
+      core::merge_applications({{"btpc", &btpc}, {"hyperspec", &hyper}}, "shared");
+
+  EXPECT_EQ(merged.group_count(), btpc.group_count() + hyper.group_count());
+  EXPECT_EQ(merged.body_count(), btpc.body_count() + hyper.body_count());
+  EXPECT_NEAR(merged.total_accesses_per_frame(),
+              btpc.total_accesses_per_frame() + hyper.total_accesses_per_frame(), 1e-6);
+
+  // Same-named arrays of the two codecs (out_buf, bit_accum) stay distinct.
+  const auto btpc_out = merged.find_group("btpc.out_buf");
+  const auto hyper_out = merged.find_group("hyperspec.out_buf");
+  ASSERT_TRUE(btpc_out.has_value());
+  ASSERT_TRUE(hyper_out.has_value());
+  EXPECT_NE(*btpc_out, *hyper_out);
+
+  // Reuse profiles travel with their groups.
+  const auto cube = merged.find_group("hyperspec.cube");
+  ASSERT_TRUE(cube.has_value());
+  const auto* merged_reuse = merged.reuse_profile(*cube);
+  const auto* original_reuse = hyper.reuse_profile(*hyper.find_group("cube"));
+  ASSERT_NE(merged_reuse, nullptr);
+  ASSERT_NE(original_reuse, nullptr);
+  ASSERT_EQ(merged_reuse->windows.size(), original_reuse->windows.size());
+  for (std::size_t i = 0; i < merged_reuse->windows.size(); ++i) {
+    EXPECT_EQ(merged_reuse->windows[i].window_words,
+              original_reuse->windows[i].window_words);
+    EXPECT_DOUBLE_EQ(merged_reuse->windows[i].misses_per_frame,
+                     original_reuse->windows[i].misses_per_frame);
+  }
+}
+
+TEST(MultiWorkload, MergeRejectsBadInputs) {
+  const auto app = find_workload("hyperspec")->profile(small_options());
+  EXPECT_THROW((void)core::merge_applications({}, "empty"), support::ContractError);
+  EXPECT_THROW((void)core::merge_applications({{"a", nullptr}}, "null"),
+               support::ContractError);
+  EXPECT_THROW((void)core::merge_applications({{"", &app}}, "unlabelled"),
+               support::ContractError);
+  EXPECT_THROW((void)core::merge_applications({{"a", &app}, {"a", &app}}, "dup"),
+               support::ContractError);
+}
+
+TEST(MultiWorkload, SharedSweepProducesAParetoFront) {
+  const auto explorer = make_explorer();
+  const auto* btpc_workload = find_workload("btpc");
+  const auto* hyper_workload = find_workload("hyperspec");
+  const auto btpc = btpc_workload->tuned_variant(btpc_workload->profile(small_options()));
+  const auto hyper = hyper_workload->profile(small_options());
+
+  const std::vector<std::pair<std::string, const ir::Application*>> apps = {
+      {"btpc", &btpc}, {"hyperspec", &hyper}};
+  const auto variants = explorer.explore_shared_allocation_counts(apps, {6, 10, 14});
+  ASSERT_EQ(variants.size(), 3u);
+  bool any_feasible = false;
+  for (const auto& variant : variants) any_feasible |= variant.eval.feasible;
+  EXPECT_TRUE(any_feasible);
+  EXPECT_FALSE(core::pareto_front(variants).empty());
+
+  // The shared organization serves the union of both access patterns: it
+  // cannot be cheaper than either workload alone.
+  const auto solo = explorer.evaluate(hyper);
+  const auto shared = explorer.evaluate_shared(apps);
+  EXPECT_GE(shared.summary.onchip_area_mm2 + 1e-9, solo.summary.onchip_area_mm2);
+  EXPECT_GE(shared.summary.offchip_power_mw + 1e-9, solo.summary.offchip_power_mw);
+
+  // Deterministic: the same merge evaluates to the same triple.
+  const auto again = explorer.evaluate_shared(apps);
+  EXPECT_DOUBLE_EQ(shared.summary.onchip_area_mm2, again.summary.onchip_area_mm2);
+  EXPECT_DOUBLE_EQ(shared.summary.onchip_power_mw, again.summary.onchip_power_mw);
+  EXPECT_DOUBLE_EQ(shared.summary.offchip_power_mw, again.summary.offchip_power_mw);
+}
+
+}  // namespace
+}  // namespace dtse::workloads
