@@ -14,12 +14,14 @@
 #include "core/explorer.hpp"
 #include "graph/conflict_graph.hpp"
 #include "hyperspec/codec.hpp"
+#include "motion/estimator.hpp"
 #include "scbd/budget_distribution.hpp"
 #include "support/image.hpp"
 #include "support/rng.hpp"
 #include "trace/instrumented_array.hpp"
 #include "trace/recorder.hpp"
 #include "workloads/hyperspec_workload.hpp"
+#include "workloads/motion_workload.hpp"
 #include "workloads/workload.hpp"
 
 namespace {
@@ -441,9 +443,43 @@ void BM_HyperspecEncode(benchmark::State& state) {
 }
 BENCHMARK(BM_HyperspecEncode)->Arg(64)->Arg(128);
 
+// The motion workload's kernel: one uninstrumented block-matching run (Arg =
+// frame edge; 0 selects full search instead of the default three-step).
+void BM_MotionEstimate(benchmark::State& state) {
+  const int edge = static_cast<int>(state.range(0));
+  motion::MotionOptions options;
+  if (state.range(1) == 0) options.search = motion::SearchStrategy::kFullSearch;
+  const auto frames = motion::make_synthetic_frame_pair(edge, edge, 7);
+  motion::Estimator estimator(edge, edge, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.estimate(frames.reference, frames.current));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(edge) * edge);
+}
+BENCHMARK(BM_MotionEstimate)->Args({96, 1})->Args({96, 0})->Args({176, 1});
+
+// The motion workload's exploration path: profile once outside the timed
+// region, then sweep the allocation counts of its memory organization.
+void BM_ExploreMotion(benchmark::State& state) {
+  static const auto profiled = [] {
+    workloads::WorkloadOptions options;
+    options.profile_size = 64;
+    return workloads::find_workload("motion")->profile(options);
+  }();
+  core::Explorer explorer{memlib::MemoryLibrary{}};
+  const std::vector<int> counts = {4, 8, 12};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(explorer.explore_allocation_counts(profiled, counts));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(counts.size()));
+}
+BENCHMARK(BM_ExploreMotion)->Unit(benchmark::kMillisecond);
+
 // The multi-workload exploration path: merge the registered workloads'
 // profiled models and sweep the shared memory organization across allocation
-// counts (profiles are built once outside the timed region).
+// counts (profiles are built once outside the timed region).  Since the
+// roster grew to four workloads (btpc, hyperspec, line_buffer, motion) this
+// times the 4-workload merged model.
 void BM_ExploreMultiWorkload(benchmark::State& state) {
   static const auto tuned = [] {
     std::vector<std::pair<std::string, ir::Application>> models;

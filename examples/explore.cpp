@@ -173,8 +173,18 @@ int main(int argc, char** argv) {
               << "Multi-workload Pareto front:\n"
               << dtse::core::pareto_report(shared) << '\n';
 
-    const auto final_eval = explorer.evaluate_shared(apps, options);
-    std::cout << "Shared organization summary: " << final_eval.to_string() << '\n';
+    // Who pays for the sharing: the same merged assignment re-priced per
+    // workload prefix; the marginal rows sum bit-exactly to the merged triple.
+    const auto final_eval = explorer.evaluate_shared_per_workload(apps, options);
+    std::cout << "Shared organization summary: " << final_eval.merged.to_string()
+              << "\n\nPer-workload attribution (registration order):\n";
+    auto share_table = cost_table("Workload (marginal)");
+    for (const auto& share : final_eval.per_workload) {
+      add_cost_row(share_table, share.label, share.marginal, true);
+    }
+    add_cost_row(share_table, "= merged total", final_eval.merged.summary,
+                 final_eval.merged.feasible);
+    std::cout << share_table.to_string() << '\n';
   }
   return all_golden ? 0 : 1;
 }

@@ -4,60 +4,46 @@
 //
 // A 5x5 filter over a 720x576 frame reads a 25-pixel neighbourhood per
 // output pixel.  Should the design add a small register window (layer 0), a
-// multi-line buffer (layer 1), both, or nothing?  We build the model with
-// an analytically known reuse profile, enumerate the Figure-3-style options
-// and let the cost feedback decide — on this access pattern the line buffer
-// wins, unlike BTPC where the register file alone was best: the methodology
-// gives different answers for different reuse behaviour, which is exactly
-// its point.
+// multi-line buffer (layer 1), both, or nothing?  The model now comes from
+// the registered "line_buffer" workload — a real instrumented kernel whose
+// frame reuse curve is LRU-simulated, not hand-derived — and this example is
+// a thin driver: profile, enumerate the Figure-3-style options, let the cost
+// feedback decide.  On this access pattern the line-buffered options win
+// (with the register window a close refinement), unlike BTPC where the
+// register file alone was best: the methodology gives different answers for
+// different reuse behaviour, which is exactly its point.
 #include <iostream>
 
 #include "core/explorer.hpp"
 #include "hierarchy/hierarchy.hpp"
 #include "support/table.hpp"
+#include "workloads/line_buffer_workload.hpp"
+#include "workloads/workload.hpp"
 
 int main() {
   using namespace dtse;
-  constexpr int kWidth = 720;
-  constexpr int kHeight = 576;
-  constexpr double kPixels = static_cast<double>(kWidth) * kHeight;
+  const auto* workload = workloads::find_workload("line_buffer");
+  if (workload == nullptr || !workload->verify()) {
+    std::cerr << "line_buffer workload missing or failed its golden check\n";
+    return 1;
+  }
+  const auto& line_buffer =
+      *static_cast<const workloads::LineBufferWorkload*>(workload);
 
-  ir::Application app("conv5x5");
-  const auto frame = app.add_group({"frame", kWidth * kHeight, 8, std::nullopt, 2});
-  const auto coeffs = app.add_group({"coeffs", 25, 12, std::nullopt, 2});
-  const auto out = app.add_group({"out", kWidth * kHeight, 8, std::nullopt, 2});
-
-  ir::LoopBody body;
-  body.name = "per_output_pixel";
-  body.iterations = kWidth * kHeight;
-  body.accesses = {
-      {frame, ir::AccessKind::kRead, 25.0, 0.7, 0.8, 1.0},   // 5x5 window
-      {coeffs, ir::AccessKind::kRead, 25.0, 0.9, 0.9, 1.0},
-      {out, ir::AccessKind::kWrite, 1.0, 1.0, 1.0, 1.0},
-  };
-  body.deps = {{0, 2}, {1, 2}};
-  app.add_body(body);
-
-  // Analytic reuse profile of a sliding 5x5 window in raster order:
-  //  * a 5-word window catches the horizontal reuse (5 of 25 reads fresh),
-  //  * a 5-line buffer reduces traffic to one frame read (1 of 25),
-  //  * anything in between interpolates.
-  ir::ReuseProfile reuse;
-  reuse.windows = {
-      {25, kPixels * 5.0},                    // register window: column reuse only
-      {4 * kWidth, kPixels * 2.0},            // 4 lines: most vertical reuse
-      {5 * kWidth, kPixels * 1.0},            // full 5-line buffer: compulsory only
-      {64 * kWidth, kPixels * 1.0},
-  };
-  app.set_reuse_profile(frame, reuse);
-  app.validate();
+  const auto app = workload->profile();
+  const auto frame = app.find_group("frame");
+  if (!frame.has_value()) {
+    std::cerr << "profile lacks the frame array\n";
+    return 1;
+  }
 
   core::Explorer explorer{memlib::MemoryLibrary{}};
   core::ExplorerOptions options;
   options.real_time_budget_cycles = 25'000'000;  // ~1.2 Mpixel frame, 25 fps-ish
   options.storage_budget_cycles = 20'000'000;
 
-  std::cout << "5x5 convolution, " << kWidth << "x" << kHeight
+  std::cout << "5x5 convolution, " << line_buffer.declared_width() << "x"
+            << line_buffer.declared_height()
             << " frame: memory hierarchy options for the frame array\n\n";
 
   support::Table table({"Option", "area [mm2]", "on-chip [mW]", "off-chip [mW]",
@@ -65,9 +51,11 @@ int main() {
   memlib::CostWeights weights;
   std::string best_label;
   double best_cost = 1e300;
+  const std::uint64_t line_buffer_words =
+      5 * static_cast<std::uint64_t>(line_buffer.declared_width());
   for (const auto& option :
-       hierarchy::enumerate_options(app, frame, 25, 5 * kWidth)) {
-    const auto variant = hierarchy::apply_hierarchy(app, frame, option.layers);
+       hierarchy::enumerate_options(app, *frame, 25, line_buffer_words)) {
+    const auto variant = hierarchy::apply_hierarchy(app, *frame, option.layers);
     const auto eval = explorer.evaluate(variant, options);
     table.add_row({option.label, support::Table::num(eval.summary.onchip_area_mm2),
                    support::Table::num(eval.summary.onchip_power_mw),

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Markdown link checker: docs must not rot.
+
+Scans every tracked *.md file for inline links/images `[text](target)` and
+reference definitions `[label]: target`, and fails when a relative target
+does not exist on disk.  External schemes (http/https/mailto) are skipped —
+CI must not depend on the network — and pure in-page anchors (#...) are
+checked only for non-emptiness.
+
+Usage: scripts/check_md_links.py [root]        (root defaults to the repo root)
+"""
+import os
+import re
+import subprocess
+import sys
+
+# Inline links/images, tolerating one level of nested parentheses in the URL
+# and an optional quoted title after it; reference-style definitions at line
+# start.
+INLINE = re.compile(
+    r"!?\[[^\]]*\]\(\s*([^()\s]*(?:\([^()]*\)[^()\s]*)*)(?:\s+[\"'][^()]*[\"'])?\s*\)")
+REFDEF = re.compile(r"^\s{0,3}\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+FENCE = re.compile(r"```.*?```", re.DOTALL)
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def tracked_markdown(root):
+    out = subprocess.run(["git", "ls-files", "*.md", "**/*.md"], cwd=root,
+                         capture_output=True, text=True, check=True).stdout
+    return sorted(set(line for line in out.splitlines() if line))
+
+
+def check_file(root, md):
+    with open(os.path.join(root, md), encoding="utf-8") as f:
+        text = FENCE.sub("", f.read())  # links inside code fences are examples
+    errors = []
+    targets = INLINE.findall(text) + REFDEF.findall(text)
+    for target in targets:
+        target = target.strip("<>")
+        if not target:
+            errors.append(f"{md}: empty link target")
+            continue
+        if target.startswith(SKIP_SCHEMES):
+            continue
+        if target.startswith("#"):
+            continue  # in-page anchor; existence is the renderer's business
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        resolved = os.path.normpath(os.path.join(root, os.path.dirname(md), path))
+        if not os.path.exists(resolved):
+            errors.append(f"{md}: broken link -> {target}")
+    return errors
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "..")
+    root = os.path.abspath(root)
+    failures = []
+    files = tracked_markdown(root)
+    for md in files:
+        failures.extend(check_file(root, md))
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    print(f"checked {len(files)} markdown files, {len(failures)} broken link(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,4 +16,15 @@ OUT="bench/BENCH_${STAMP}.json"
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j --target perf_microbench
 "./${BUILD_DIR}/perf_microbench" --benchmark_format=json > "$OUT"
+
+# The trajectory must cover the workload-roster benchmarks: a snapshot that
+# silently dropped them (filtered run, renamed bench) would let the nightly
+# compare gate pass on an empty intersection.
+for bench in BM_MotionEstimate BM_ExploreMotion BM_ExploreMultiWorkload \
+             BM_HyperspecEncode BM_ProfiledFeedback256; do
+  if ! grep -q "\"$bench" "$OUT"; then
+    echo "error: $OUT is missing $bench — incomplete trajectory point" >&2
+    exit 1
+  fi
+done
 echo "wrote $OUT"

@@ -25,17 +25,6 @@ int effective_tile_rows(const CodecOptions& options, int width, int height) {
 
 }  // namespace
 
-/// RAII iteration marker that is a no-op for uninstrumented encoders.
-class Encoder::IterationScope {
- public:
-  IterationScope(trace::Recorder* recorder, std::string_view body) {
-    if (recorder != nullptr) scope_.emplace(*recorder, body);
-  }
-
- private:
-  std::optional<trace::Iteration> scope_;
-};
-
 Encoder::Encoder(int width, int height)
     : width_(width),
       height_(height),
@@ -130,7 +119,7 @@ void Encoder::predict_pass(const LevelSpec& level, const CodecOptions& options,
                            int y_begin, int y_end) {
   const int delta = options.quantizer_delta;
   visit_detail_points_in_rows(level, width_, height_, y_begin, y_end, [&](Point p) {
-    IterationScope scope(recorder_, "predict");
+    trace::IterationScope scope(recorder_, "predict");
 
     const auto parents = parent_positions(p, level, width_, height_);
     std::array<int, 4> neighbours{};
@@ -189,7 +178,7 @@ void Encoder::predict_pass(const LevelSpec& level, const CodecOptions& options,
 void Encoder::encode_pass(const LevelSpec& level, BitWriter& writer, int y_begin,
                           int y_end) {
   visit_detail_points_in_rows(level, width_, height_, y_begin, y_end, [&](Point p) {
-    IterationScope scope(recorder_, "encode");
+    trace::IterationScope scope(recorder_, "encode");
 
     const int symbol = pyr_.read(p.x, p.y);
     const int cls = ridge_.read(p.x, p.y);
@@ -228,7 +217,7 @@ EncodedImage Encoder::encode(const support::Image& image, const CodecOptions& op
   // Raw transmission of the top lattice.
   std::size_t base_count = 0;
   visit_top_points(width_, height_, [&](Point p) {
-    IterationScope scope(recorder_, "encode_base");
+    trace::IterationScope scope(recorder_, "encode_base");
     const auto v = image_.read(p.x, p.y);
     base_buf_.write(base_count++ % base_buf_.size(), v);
     writer.put(v, 8);
@@ -238,7 +227,7 @@ EncodedImage Encoder::encode(const support::Image& image, const CodecOptions& op
   const int tile_rows = effective_tile_rows(options, width_, height_);
   for (std::size_t li = 0; li < levels.size(); ++li) {
     {
-      IterationScope scope(recorder_, "level_setup");
+      trace::IterationScope scope(recorder_, "level_setup");
       level_offsets_.write(li % level_offsets_.size(),
                            static_cast<std::uint32_t>(writer.bits_written() >> 4));
     }

@@ -87,7 +87,6 @@ class Encoder {
   [[nodiscard]] int height() const { return height_; }
 
  private:
-  class IterationScope;  // no-op when not instrumented
 
   void init_tables(const CodecOptions& options);
   /// Strip-ranged passes: process the level's detail points with y in

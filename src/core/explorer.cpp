@@ -1,5 +1,8 @@
 #include "core/explorer.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "support/check.hpp"
@@ -19,6 +22,66 @@ ExplorerOptions without_nested_parallelism(ExplorerOptions options, std::size_t 
     options.allocation.solver.sa_parallelism = 1;
   }
   return options;
+}
+
+/// Prices the merged allocation with every memory's member set restricted to
+/// the first `prefix_groups` merged basic groups (a registration-order
+/// prefix of the workloads — merge_applications numbers groups per-workload
+/// consecutively).  Member sets are priced through the same
+/// `AssignmentProblem` machinery the allocator used (`problem` must be built
+/// over the same on-chip groups), so the full prefix reproduces
+/// `allocation.summary` bit for bit by construction — restricted sets never
+/// need more ports than their feasible superset, so `cost_of_members`
+/// always prices them.
+memlib::CostSummary price_prefix(const alloc::AssignmentProblem& problem,
+                                 const alloc::AllocationResult& allocation,
+                                 std::uint32_t prefix_groups) {
+  // The problem's groups are in ascending id order, as are each memory's
+  // members; map ids back to problem-local indices by binary search.
+  const auto& problem_groups = problem.groups();
+  const auto index_of = [&problem_groups](ir::BasicGroupId id) {
+    const auto it = std::lower_bound(problem_groups.begin(), problem_groups.end(), id);
+    DTSE_CHECK(it != problem_groups.end() && *it == id,
+               "allocated group missing from the assignment problem");
+    return static_cast<std::size_t>(it - problem_groups.begin());
+  };
+
+  memlib::CostSummary priced;
+  for (const auto& mem : allocation.onchip) {
+    std::vector<std::size_t> members;
+    for (const auto id : mem.groups) {
+      if (id.value() < prefix_groups) members.push_back(index_of(id));
+    }
+    if (members.empty()) continue;
+    const auto term = problem.cost_of_members(members);
+    DTSE_ASSERT(term.has_value(), "subset of a feasible memory must be feasible");
+    priced.onchip_area_mm2 += term->area_mm2;
+    priced.onchip_power_mw += term->power_mw;
+  }
+  // Every off-chip channel serves exactly one basic group, so a channel is
+  // wholly owned by the prefix that contains its group.
+  for (const auto& channel : allocation.offchip) {
+    if (channel.groups.front().value() < prefix_groups) {
+      priced.offchip_power_mw += channel.power_mw;
+    }
+  }
+  return priced;
+}
+
+/// The delta with `running + delta == target` *bit-exactly*.  Plain
+/// subtraction can round such that the sum misses the target by an ulp; the
+/// nudge loop walks the representables until the reconstruction is exact, so
+/// marginal terms accumulate back to the merged triple with zero drift.
+double exact_increment(double target, double running) {
+  double delta = target - running;
+  for (int i = 0; i < 64 && running + delta != target; ++i) {
+    delta = std::nextafter(delta, running + delta < target
+                                      ? std::numeric_limits<double>::infinity()
+                                      : -std::numeric_limits<double>::infinity());
+  }
+  DTSE_CHECK(running + delta == target,
+             "per-workload marginal cost failed to reconcile");
+  return delta;
 }
 
 }  // namespace
@@ -134,6 +197,66 @@ Evaluation Explorer::evaluate_shared(
     const std::vector<std::pair<std::string, const ir::Application*>>& apps,
     const ExplorerOptions& options) const {
   return evaluate(merge_applications(apps, "shared"), options);
+}
+
+std::string SharedEvaluation::to_string() const {
+  std::ostringstream os;
+  os << "shared: " << merged.to_string();
+  for (const auto& share : per_workload) {
+    os << "\n  " << share.label << ": +" << share.marginal.onchip_area_mm2
+       << " mm^2, +" << share.marginal.onchip_power_mw << " mW on-chip, +"
+       << share.marginal.offchip_power_mw << " mW off-chip";
+  }
+  return os.str();
+}
+
+SharedEvaluation Explorer::evaluate_shared_per_workload(
+    const std::vector<std::pair<std::string, const ir::Application*>>& apps,
+    const ExplorerOptions& options) const {
+  const auto merged = merge_applications(apps, "shared");
+  // merge_applications appends each workload's groups as one consecutive id
+  // block, so prefix i of the workload list owns group ids [0, boundary[i]).
+  std::vector<std::uint32_t> boundaries;
+  boundaries.reserve(apps.size());
+  std::uint32_t group_count = 0;
+  for (const auto& [label, app] : apps) {
+    group_count += static_cast<std::uint32_t>(app->group_count());
+    boundaries.push_back(group_count);
+  }
+
+  SharedEvaluation result;
+  result.merged = evaluate(merged, options);
+
+  // The same assignment problem the allocator priced the winning assignment
+  // on: same on-chip partition, same conflict graph, same frame cycles
+  // (evaluate() charges power over the real-time frame period).
+  const auto partition = allocator_.partition_groups(merged, options.allocation);
+  const alloc::AssignmentProblem problem(merged, partition.first,
+                                         result.merged.scbd.conflicts, library_,
+                                         options.real_time_budget_cycles);
+
+  memlib::CostSummary running;
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    WorkloadShare share;
+    share.label = apps[i].first;
+    share.cumulative = price_prefix(problem, result.merged.allocation, boundaries[i]);
+    share.marginal.onchip_area_mm2 =
+        exact_increment(share.cumulative.onchip_area_mm2, running.onchip_area_mm2);
+    share.marginal.onchip_power_mw =
+        exact_increment(share.cumulative.onchip_power_mw, running.onchip_power_mw);
+    share.marginal.offchip_power_mw =
+        exact_increment(share.cumulative.offchip_power_mw, running.offchip_power_mw);
+    running += share.marginal;
+    result.per_workload.push_back(std::move(share));
+  }
+
+  // The reconciliation contract: re-pricing the full prefix — and therefore
+  // the marginal sum — lands exactly on the merged triple.
+  DTSE_CHECK(running.onchip_area_mm2 == result.merged.summary.onchip_area_mm2 &&
+                 running.onchip_power_mw == result.merged.summary.onchip_power_mw &&
+                 running.offchip_power_mw == result.merged.summary.offchip_power_mw,
+             "per-workload attribution failed to reconcile with the merged triple");
+  return result;
 }
 
 std::vector<Variant> Explorer::explore_shared_allocation_counts(

@@ -75,6 +75,29 @@ struct Variant {
     const std::vector<std::pair<std::string, const ir::Application*>>& apps,
     std::string merged_name);
 
+/// Cost attribution of one workload inside a shared evaluation.
+/// `cumulative` re-prices the merged assignment with every memory's member
+/// set restricted to the registration-order prefix of workloads ending at
+/// this one (same memories, same ports where conflicts remain, same
+/// technology models); `marginal` is the increment over the previous prefix
+/// — what this workload adds to the shared organization it joins.
+struct WorkloadShare {
+  std::string label;
+  memlib::CostSummary cumulative;
+  memlib::CostSummary marginal;
+};
+
+/// A shared evaluation with its per-workload cost attribution.
+/// Reconciliation contract (property-tested): summing the `marginal` triples
+/// in order — and the final `cumulative` triple — reproduces
+/// `merged.summary` bit-exactly; no attribution dust is lost or invented.
+struct SharedEvaluation {
+  Evaluation merged;
+  std::vector<WorkloadShare> per_workload;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
 /// One point of the cycle budget sweep (a Table 3 row).
 struct BudgetPoint {
   std::uint64_t requested_budget = 0;
@@ -118,6 +141,16 @@ class Explorer {
   /// Feedback for one shared memory organization serving several workloads
   /// at once (evaluates the merged model, see `merge_applications`).
   [[nodiscard]] Evaluation evaluate_shared(
+      const std::vector<std::pair<std::string, const ir::Application*>>& apps,
+      const ExplorerOptions& options = {}) const;
+
+  /// `evaluate_shared` plus the answer to "who pays for the sharing": the
+  /// *same* merged assignment is re-priced with member sets restricted to
+  /// each workload prefix, yielding one `WorkloadShare` per input (in input
+  /// order).  Deterministic, and the merged result is bit-identical to
+  /// `evaluate_shared` — attribution never perturbs the evaluation it
+  /// explains (see `SharedEvaluation` for the reconciliation contract).
+  [[nodiscard]] SharedEvaluation evaluate_shared_per_workload(
       const std::vector<std::pair<std::string, const ir::Application*>>& apps,
       const ExplorerOptions& options = {}) const;
 

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
-#include <optional>
 
 #include "support/rng.hpp"
 
@@ -193,17 +192,6 @@ Cube make_synthetic_cube(CubeShape shape, std::uint64_t seed, int dynamic_range_
   return cube;
 }
 
-/// RAII iteration marker that is a no-op for uninstrumented encoders.
-class Encoder::IterationScope {
- public:
-  IterationScope(trace::Recorder* recorder, std::string_view body) {
-    if (recorder != nullptr) scope_.emplace(*recorder, body);
-  }
-
- private:
-  std::optional<trace::Iteration> scope_;
-};
-
 Encoder::Encoder(CubeShape shape)
     : shape_(detail::checked_shape(shape)),
       cube_("cube", shape_.samples()),
@@ -273,7 +261,7 @@ void Encoder::predict_band(int z, int maxval) {
   auto prev = [&](int y, int x) { return cube_sample(z - 1, y, x); };
   for (int y = 0; y < shape_.height; ++y) {
     for (int x = 0; x < width; ++x) {
-      IterationScope scope(recorder_, "hs_predict");
+      trace::IterationScope scope(recorder_, "hs_predict");
       const int pred = predict_sample(z > 0, curr, prev, y, x, width, maxval);
       const int sample = cube_sample(z, y, x);
       DTSE_CHECK(sample <= maxval, "cube sample exceeds the declared dynamic range");
@@ -289,7 +277,7 @@ void Encoder::encode_band(int z, btpc::BitWriter& writer, const HsCodecOptions& 
   const int max_k = options.dynamic_range_bits;
   for (int y = 0; y < shape_.height; ++y) {
     for (int x = 0; x < width; ++x) {
-      IterationScope scope(recorder_, "hs_encode");
+      trace::IterationScope scope(recorder_, "hs_encode");
       const std::uint32_t mapped =
           residual_.read(static_cast<std::size_t>(y) * width + x);
       std::uint32_t accum = rice_accum_.read(static_cast<std::size_t>(z));
@@ -321,7 +309,7 @@ EncodedCube Encoder::encode(const Cube& cube, const HsCodecOptions& options) {
 
   for (int z = 0; z < shape_.bands; ++z) {
     {
-      IterationScope scope(recorder_, "hs_band_setup");
+      trace::IterationScope scope(recorder_, "hs_band_setup");
       rice_accum_.write(static_cast<std::size_t>(z), kInitCount * kInitMean);
       rice_count_.write(static_cast<std::size_t>(z), kInitCount);
     }

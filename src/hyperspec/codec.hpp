@@ -147,7 +147,6 @@ class Encoder {
   [[nodiscard]] const CubeShape& shape() const { return shape_; }
 
  private:
-  class IterationScope;  // no-op when not instrumented
 
   /// Delegation target with the declared geometry already normalized (the
   /// bool only disambiguates the overload).

@@ -273,4 +273,24 @@ class Iteration {
   Recorder& recorder_;
 };
 
+/// Like `Iteration`, but tolerant of a null recorder: kernels that serve
+/// both production and profiling runs guard each loop-body iteration with
+/// this scope and pay one predictable branch when no recorder is attached.
+class IterationScope {
+ public:
+  IterationScope(Recorder* recorder, std::string_view body_name)
+      : recorder_(recorder) {
+    if (recorder_ != nullptr) recorder_->begin_iteration(body_name);
+  }
+  ~IterationScope() {
+    if (recorder_ != nullptr) recorder_->end_iteration();
+  }
+
+  IterationScope(const IterationScope&) = delete;
+  IterationScope& operator=(const IterationScope&) = delete;
+
+ private:
+  Recorder* recorder_;
+};
+
 }  // namespace dtse::trace

@@ -1,0 +1,52 @@
+// The 2-D convolution ("line buffer") case study packaged as a registered
+// workload.
+//
+// Originally examples/line_buffer_filter.cpp built this model analytically;
+// the workload replaces that with a real instrumented kernel: a 5x5
+// integer convolution (binomial smoothing, replicate borders) whose frame
+// reuse profile now comes from the recorder's LRU simulation instead of
+// hand-computed folklore numbers.  The example is a thin driver over this
+// class.
+#pragma once
+
+#include "workloads/workload.hpp"
+
+namespace dtse::workloads {
+
+class LineBufferWorkload final : public Workload {
+ public:
+  /// `declared_width`/`declared_height` give the design geometry entered
+  /// into the model (0 falls back to the default 720x576 PAL point).
+  explicit LineBufferWorkload(int declared_width = 0, int declared_height = 0);
+
+  [[nodiscard]] std::string_view name() const override { return "line_buffer"; }
+  [[nodiscard]] std::string_view description() const override {
+    return "5x5 binomial convolution filter (sliding-window reads, the "
+           "classic line-buffer hierarchy decision); 720x576 declared "
+           "design point";
+  }
+
+  /// Profiles one instrumented filter run on a synthetic frame.
+  [[nodiscard]] ir::Application profile(const WorkloadOptions& options = {}) const override;
+
+  /// Golden check: the kernel's output must match an independent
+  /// coefficient-major reference convolution sample for sample.
+  [[nodiscard]] bool verify(const WorkloadOptions& options = {}) const override;
+
+  /// Applies the line-buffer promotion this access pattern is famous for:
+  /// the five-line layer-1 buffer on the frame array (the register-window
+  /// refinement on top of it is within a mW — see the example's sweep).
+  [[nodiscard]] ir::Application tuned_variant(const ir::Application& profiled) const override;
+
+  /// Profiled frame edge for a given options.profile_size.
+  [[nodiscard]] int profile_edge(const WorkloadOptions& options) const;
+
+  [[nodiscard]] int declared_width() const { return declared_width_; }
+  [[nodiscard]] int declared_height() const { return declared_height_; }
+
+ private:
+  int declared_width_ = 0;
+  int declared_height_ = 0;
+};
+
+}  // namespace dtse::workloads

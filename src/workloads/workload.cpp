@@ -3,6 +3,8 @@
 #include "support/check.hpp"
 #include "workloads/btpc_workload.hpp"
 #include "workloads/hyperspec_workload.hpp"
+#include "workloads/line_buffer_workload.hpp"
+#include "workloads/motion_workload.hpp"
 
 namespace dtse::workloads {
 
@@ -13,6 +15,8 @@ std::vector<std::unique_ptr<Workload>>& registry() {
     std::vector<std::unique_ptr<Workload>> builtins;
     builtins.push_back(std::make_unique<BtpcWorkload>());
     builtins.push_back(std::make_unique<HyperspecWorkload>());
+    builtins.push_back(std::make_unique<LineBufferWorkload>());
+    builtins.push_back(std::make_unique<MotionWorkload>());
     return builtins;
   }();
   return workloads;

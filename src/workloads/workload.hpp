@@ -10,9 +10,12 @@
 // several at once against one shared memory organization (see
 // `core::merge_applications`).
 //
-// Built-ins: "btpc" (the paper's demonstrator) and "hyperspec" (a
-// CCSDS-123-style lossless hyperspectral compressor with a very different,
-// band-interleaved 3-D access-pattern family).
+// Built-ins: "btpc" (the paper's demonstrator), "hyperspec" (a
+// CCSDS-123-style lossless hyperspectral compressor with a band-interleaved
+// 3-D access-pattern family), "line_buffer" (a 5x5 convolution filter, the
+// classic sliding-window/line-buffer decision) and "motion" (a block-matching
+// motion estimator whose overlapping window reads have yet another conflict
+// structure).  See docs/WORKLOADS.md for the authoring guide.
 #pragma once
 
 #include <cstdint>
@@ -40,19 +43,28 @@ struct WorkloadOptions {
   trace::RecorderOptions recorder;
 };
 
+/// The workload contract.  Implementations must be deterministic: for a
+/// fixed `WorkloadOptions`, `profile` returns bit-identical models and
+/// `verify` a stable verdict on every run (instrumentation must never change
+/// the kernel's output).
 class Workload {
  public:
   virtual ~Workload() = default;
 
+  /// Stable registry key (lowercase, no spaces); unique across the registry.
   [[nodiscard]] virtual std::string_view name() const = 0;
+  /// One-line human description, including the declared design point.
   [[nodiscard]] virtual std::string_view description() const = 0;
 
   /// Runs the instrumented kernel on a synthetic input and returns the
   /// pruned application model at the workload's declared design geometry.
+  /// Deterministic per (options, seed); the model passes
+  /// `ir::Application::validate`.
   [[nodiscard]] virtual ir::Application profile(const WorkloadOptions& options = {}) const = 0;
 
   /// Golden check: runs the same kernel end-to-end uninstrumented and
-  /// verifies its output (e.g. a bit-exact compression round trip).  A
+  /// verifies its output against an independent oracle (a bit-exact
+  /// compression round trip, a reference implementation of the kernel).  A
   /// workload whose kernel is broken must not feed the exploration.
   [[nodiscard]] virtual bool verify(const WorkloadOptions& options = {}) const = 0;
 

@@ -6,8 +6,11 @@
 #include "core/explorer.hpp"
 #include "core/pareto.hpp"
 #include "support/check.hpp"
+#include "support/rng.hpp"
 #include "workloads/btpc_workload.hpp"
 #include "workloads/hyperspec_workload.hpp"
+#include "workloads/line_buffer_workload.hpp"
+#include "workloads/motion_workload.hpp"
 #include "workloads/workload.hpp"
 
 namespace dtse::workloads {
@@ -24,9 +27,11 @@ core::Explorer make_explorer() { return core::Explorer{memlib::MemoryLibrary{}};
 
 TEST(Registry, BuiltinsAreRegistered) {
   const auto names = workload_names();
-  ASSERT_GE(names.size(), 2u);
+  ASSERT_GE(names.size(), 4u);
   EXPECT_NE(find_workload("btpc"), nullptr);
   EXPECT_NE(find_workload("hyperspec"), nullptr);
+  EXPECT_NE(find_workload("line_buffer"), nullptr);
+  EXPECT_NE(find_workload("motion"), nullptr);
   EXPECT_EQ(find_workload("no-such-workload"), nullptr);
   for (const auto name : names) {
     const auto* workload = find_workload(name);
@@ -111,6 +116,54 @@ TEST(Workloads, BtpcCodecKnobsAreTraversalInvariant) {
   EXPECT_EQ(base.to_string(), reference.to_string());
 }
 
+// Registry round trips of the two workloads this roster extension added:
+// the registered instance must profile/verify exactly like a fresh one.
+TEST(Registry, LineBufferRoundTrip) {
+  const auto* registered = find_workload("line_buffer");
+  ASSERT_NE(registered, nullptr);
+  EXPECT_TRUE(registered->verify(small_options()));
+  const auto via_registry = registered->profile(small_options());
+  const auto direct = LineBufferWorkload{}.profile(small_options());
+  EXPECT_EQ(via_registry.to_string(), direct.to_string());
+
+  // The tuned variant applies the line-buffer hierarchy: one extra group
+  // (the layer-1 copy buffer), still valid and feasible.
+  const auto tuned = registered->tuned_variant(via_registry);
+  EXPECT_EQ(tuned.group_count(), via_registry.group_count() + 1);
+  EXPECT_NO_THROW(tuned.validate());
+  EXPECT_TRUE(tuned.find_group("frame_l1").has_value());
+}
+
+TEST(Registry, MotionRoundTrip) {
+  const auto* registered = find_workload("motion");
+  ASSERT_NE(registered, nullptr);
+  EXPECT_TRUE(registered->verify(small_options()));
+  const auto via_registry = registered->profile(small_options());
+  const auto direct = MotionWorkload{}.profile(small_options());
+  EXPECT_EQ(via_registry.to_string(), direct.to_string());
+  EXPECT_TRUE(via_registry.find_group("ref_window").has_value());
+}
+
+TEST(Registry, MotionReuseLadderSurvivesTheProfileFloor) {
+  // Regression: at the floored profile geometry the profiled row must stay
+  // strictly wider than the search window, or the window-height line-buffer
+  // rung (win_edge * row) would collapse onto the window rung and vanish —
+  // and the hierarchy exploration would never see the vertical-overlap
+  // reuse level.
+  WorkloadOptions tiny;
+  tiny.profile_size = 32;  // below the floor; must be rounded up, not obeyed
+  const MotionWorkload workload;
+  EXPECT_GT(workload.profile_edge(tiny), 32);
+  const auto app = workload.profile(tiny);
+  const auto* reuse = app.reuse_profile(*app.find_group("ref_frame"));
+  ASSERT_NE(reuse, nullptr);
+  ASSERT_GE(reuse->windows.size(), 5u);
+  // The top rung is the declared-width line buffer, above the window rung.
+  constexpr std::uint64_t kWinArea = 32 * 32;
+  EXPECT_EQ(reuse->windows[reuse->windows.size() - 2].window_words, kWinArea);
+  EXPECT_GT(reuse->windows.back().window_words, kWinArea);
+}
+
 TEST(MultiWorkload, MergePreservesTotalsAndReuse) {
   const auto btpc = find_workload("btpc")->profile(small_options());
   const auto hyper = find_workload("hyperspec")->profile(small_options());
@@ -184,6 +237,70 @@ TEST(MultiWorkload, SharedSweepProducesAParetoFront) {
   EXPECT_DOUBLE_EQ(shared.summary.onchip_area_mm2, again.summary.onchip_area_mm2);
   EXPECT_DOUBLE_EQ(shared.summary.onchip_power_mw, again.summary.onchip_power_mw);
   EXPECT_DOUBLE_EQ(shared.summary.offchip_power_mw, again.summary.offchip_power_mw);
+}
+
+// The tentpole reconciliation property: for random allocation counts over
+// all four registered workloads, summing the per-workload marginal triples
+// in order reproduces the merged `evaluate_shared` triple *bit-exactly* —
+// attribution neither loses nor invents cost, and it never perturbs the
+// evaluation it explains.
+TEST(MultiWorkload, PerWorkloadBreakdownReconcilesBitExactly) {
+  const auto explorer = make_explorer();
+
+  // All four workloads' tuned models, kept alive for the shared pricing.
+  std::vector<std::pair<std::string, ir::Application>> tuned;
+  for (const auto name : workload_names()) {
+    const auto* workload = find_workload(name);
+    tuned.emplace_back(std::string(name),
+                       workload->tuned_variant(workload->profile(small_options())));
+  }
+  ASSERT_GE(tuned.size(), 4u);
+  std::vector<std::pair<std::string, const ir::Application*>> apps;
+  for (const auto& [label, app] : tuned) apps.emplace_back(label, &app);
+
+  support::Rng rng(0xC057);
+  for (int trial = 0; trial < 4; ++trial) {
+    core::ExplorerOptions options;
+    // Random memory count across the sweep range; 0 = auto-pick, also legal.
+    options.allocation.onchip_memories =
+        trial == 0 ? 0 : 4 + static_cast<int>(rng.below(11));
+    SCOPED_TRACE("onchip_memories = " +
+                 std::to_string(options.allocation.onchip_memories));
+
+    const auto shared = explorer.evaluate_shared_per_workload(apps, options);
+    ASSERT_EQ(shared.per_workload.size(), apps.size());
+
+    // (1) The merged part is bit-identical to the plain shared evaluation.
+    const auto plain = explorer.evaluate_shared(apps, options);
+    EXPECT_EQ(shared.merged.summary.onchip_area_mm2, plain.summary.onchip_area_mm2);
+    EXPECT_EQ(shared.merged.summary.onchip_power_mw, plain.summary.onchip_power_mw);
+    EXPECT_EQ(shared.merged.summary.offchip_power_mw, plain.summary.offchip_power_mw);
+    EXPECT_EQ(shared.merged.feasible, plain.feasible);
+
+    // (2) Marginals sum to the merged triple, bit for bit.
+    memlib::CostSummary sum;
+    for (std::size_t i = 0; i < shared.per_workload.size(); ++i) {
+      EXPECT_EQ(shared.per_workload[i].label, apps[i].first);
+      sum += shared.per_workload[i].marginal;
+    }
+    EXPECT_EQ(sum.onchip_area_mm2, shared.merged.summary.onchip_area_mm2);
+    EXPECT_EQ(sum.onchip_power_mw, shared.merged.summary.onchip_power_mw);
+    EXPECT_EQ(sum.offchip_power_mw, shared.merged.summary.offchip_power_mw);
+
+    // (3) The final cumulative prefix IS the merged triple, and the prefix
+    // pricing is monotone: joining workloads never makes the restricted
+    // organization cheaper.
+    const auto& last = shared.per_workload.back().cumulative;
+    EXPECT_EQ(last.onchip_area_mm2, shared.merged.summary.onchip_area_mm2);
+    EXPECT_EQ(last.onchip_power_mw, shared.merged.summary.onchip_power_mw);
+    EXPECT_EQ(last.offchip_power_mw, shared.merged.summary.offchip_power_mw);
+    for (std::size_t i = 1; i < shared.per_workload.size(); ++i) {
+      const auto& prev = shared.per_workload[i - 1].cumulative;
+      const auto& curr = shared.per_workload[i].cumulative;
+      EXPECT_GE(curr.onchip_area_mm2, prev.onchip_area_mm2);
+      EXPECT_GE(curr.offchip_power_mw, prev.offchip_power_mw);
+    }
+  }
 }
 
 }  // namespace
