@@ -25,8 +25,14 @@ void report(const std::string& label, const support::Image& image, int delta) {
   options.quantizer_delta = delta;
 
   const auto encoded = encoder.encode(image, options);
-  btpc::Decoder decoder;
-  const auto decoded = decoder.decode(encoded);
+  // The stream is self-produced, but the demo decodes through the hardened
+  // path anyway: a data error exits with a one-line diagnostic, not a throw.
+  auto result = btpc::Decoder{}.try_decode(encoded);
+  if (!result.ok()) {
+    std::cerr << "btpc_compress: decode failed: " << result.status().to_string() << '\n';
+    std::exit(1);
+  }
+  const auto decoded = result.take();
   const double psnr = support::Image::psnr(image, decoded);
 
   std::cout << label << ": " << image.width() << "x" << image.height() << ", "
@@ -45,29 +51,30 @@ void report(const std::string& label, const support::Image& image, int delta) {
 int main(int argc, char** argv) {
   using support::SyntheticKind;
 
-  if (argc > 1) {
-    const int delta = argc > 2 ? std::atoi(argv[2]) : 1;
-    try {
+  try {
+    if (argc > 1) {
+      const int delta = argc > 2 ? std::atoi(argv[2]) : 1;
       const auto image = support::load_pgm(argv[1]);
       report(argv[1], image, delta);
-    } catch (const std::exception& e) {
-      std::cerr << "error: " << e.what() << '\n';
-      return 1;
+      return 0;
     }
-    return 0;
-  }
 
-  std::cout << "BTPC encoder/decoder self-demo (synthetic 512x512 images)\n\n";
-  for (const auto& [label, kind] :
-       {std::pair{"gradient", SyntheticKind::kGradient},
-        std::pair{"texture", SyntheticKind::kTexture},
-        std::pair{"edges", SyntheticKind::kEdges},
-        std::pair{"compound", SyntheticKind::kCompound}}) {
-    const auto image = support::make_synthetic_image(512, 512, kind, 2026);
-    report(label, image, 1);
+    std::cout << "BTPC encoder/decoder self-demo (synthetic 512x512 images)\n\n";
+    for (const auto& [label, kind] :
+         {std::pair{"gradient", SyntheticKind::kGradient},
+          std::pair{"texture", SyntheticKind::kTexture},
+          std::pair{"edges", SyntheticKind::kEdges},
+          std::pair{"compound", SyntheticKind::kCompound}}) {
+      const auto image = support::make_synthetic_image(512, 512, kind, 2026);
+      report(label, image, 1);
+    }
+    std::cout << '\n';
+    const auto image =
+        support::make_synthetic_image(512, 512, SyntheticKind::kCompound, 2026);
+    for (const int delta : {2, 4, 8, 16}) report("compound", image, delta);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "btpc_compress: fatal: " << e.what() << '\n';
+    return 1;
   }
-  std::cout << '\n';
-  const auto image = support::make_synthetic_image(512, 512, SyntheticKind::kCompound, 2026);
-  for (const int delta : {2, 4, 8, 16}) report("compound", image, delta);
-  return 0;
 }

@@ -40,6 +40,18 @@ void add_cost_row(Table& table, const std::string& label,
                  Table::num(summary.offchip_power_mw)});
 }
 
+/// Sweep-point row: a point that errored or timed out still gets a row — a
+/// degraded sweep reports every point instead of dying on the first bad one.
+void add_eval_row(Table& table, const std::string& label,
+                  const dtse::core::Evaluation& eval) {
+  if (!eval.error.empty()) {
+    table.add_row({label + " [ERROR]", eval.error, "-", "-"});
+    return;
+  }
+  add_cost_row(table, label + (eval.timed_out ? " [TIMED OUT]" : ""), eval.summary,
+               eval.feasible);
+}
+
 void print_usage() {
   std::cout << "usage: explore [--size N] [workload ...]\n"
                "       explore --list\n"
@@ -52,7 +64,24 @@ void print_usage() {
 
 }  // namespace
 
+namespace {
+
+int run(int argc, char** argv);
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "explore: fatal: " << e.what() << '\n';
+    return 1;
+  }
+}
+
+namespace {
+
+int run(int argc, char** argv) {
   dtse::workloads::WorkloadOptions workload_options;
   std::vector<const dtse::workloads::Workload*> selected;
   for (int i = 1; i < argc; ++i) {
@@ -101,17 +130,26 @@ int main(int argc, char** argv) {
     std::cout << "==== Workload '" << workload->name() << "' ====\n"
               << workload->description() << "\n\n";
 
-    // A workload whose kernel is broken must not feed the exploration.
-    const bool golden = workload->verify(workload_options);
-    std::cout << "Golden kernel check: " << (golden ? "round trip OK" : "FAILED")
-              << '\n';
-    if (!golden) {
+    // A workload whose kernel is broken must not feed the exploration — but
+    // it also must not take the other workloads down with it: failures are
+    // reported with their stage and the loop moves on.
+    const auto golden = workload->verify(workload_options);
+    std::cout << "Golden kernel check: " << golden.to_string() << '\n';
+    if (!golden.passed) {
       all_golden = false;
       std::cout << "skipping '" << workload->name() << "': broken kernel\n\n";
       continue;
     }
 
-    const auto profiled = workload->profile(workload_options);
+    dtse::ir::Application profiled("unprofiled");
+    try {
+      profiled = workload->profile(workload_options);
+    } catch (const std::exception& e) {
+      all_golden = false;
+      std::cout << "skipping '" << workload->name() << "': profiling failed: " << e.what()
+                << "\n\n";
+      continue;
+    }
     std::cout << profiled.to_string() << '\n';
 
     const auto macp = explorer.analyze_critical_path(profiled, options);
@@ -143,8 +181,7 @@ int main(int argc, char** argv) {
     const auto allocations = explorer.explore_allocation_counts(best, counts, options);
     auto alloc_table = cost_table("Version");
     for (const auto& variant : allocations) {
-      add_cost_row(alloc_table, variant.label, variant.eval.summary,
-                   variant.eval.feasible);
+      add_eval_row(alloc_table, variant.label, variant.eval);
     }
     std::cout << alloc_table.to_string() << '\n'
               << dtse::core::pareto_report(allocations) << '\n';
@@ -166,8 +203,7 @@ int main(int argc, char** argv) {
         explorer.explore_shared_allocation_counts(apps, {4, 6, 8, 10, 12, 14}, options);
     auto shared_table = cost_table("Shared organization");
     for (const auto& variant : shared) {
-      add_cost_row(shared_table, variant.label, variant.eval.summary,
-                   variant.eval.feasible);
+      add_eval_row(shared_table, variant.label, variant.eval);
     }
     std::cout << shared_table.to_string() << '\n'
               << "Multi-workload Pareto front:\n"
@@ -188,3 +224,5 @@ int main(int argc, char** argv) {
   }
   return all_golden ? 0 : 1;
 }
+
+}  // namespace

@@ -1,0 +1,22 @@
+// libFuzzer target for the hardened hyperspectral decode path ("HSC1"
+// container parse + Rice-coded cube decode).  Same contract as the BTPC
+// target: payload or clean Status on every input, never a throw or a
+// sanitizer report.  See fuzz_btpc_decode.cpp for the build modes.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "hyperspec/codec.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::vector<std::uint8_t> bytes(data, data + size);
+  auto encoded = dtse::hyperspec::try_deserialize(bytes);
+  if (!encoded.ok()) return 0;
+  auto decoded = dtse::hyperspec::Decoder{}.try_decode(encoded.value());
+  (void)decoded.ok();
+  return 0;
+}
+
+#ifdef DTSE_FUZZ_STANDALONE
+#include "standalone_driver.inc"
+#endif

@@ -1,0 +1,97 @@
+// Seed-corpus generator for the decode fuzzers.
+//
+// Writes a handful of golden containers — real encoder output across the
+// codecs' option space, plus a few deterministic mutants from the
+// fault-injection mutators — into <outdir>/btpc and <outdir>/hyperspec.
+// Starting libFuzzer from structurally valid streams lets it reach the
+// entropy-decode loops immediately instead of spending its budget guessing
+// the container magic.
+//
+// Usage: make_fuzz_corpus <outdir>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "btpc/codec.hpp"
+#include "hyperspec/codec.hpp"
+#include "support/image.hpp"
+#include "testing/fault_injection.hpp"
+
+namespace {
+
+void write_file(const std::filesystem::path& path, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    std::cerr << "cannot write " << path << '\n';
+    std::exit(1);
+  }
+}
+
+/// Golden container plus a few deterministic mutants (mutants seed the
+/// interesting half of the search space: near-valid streams).
+void emit(const std::filesystem::path& dir, const std::string& stem,
+          const std::vector<std::uint8_t>& golden, std::size_t header_bytes) {
+  write_file(dir / (stem + ".bin"), golden);
+  using dtse::testing::MutationKind;
+  int i = 0;
+  for (const auto kind : {MutationKind::kBitFlip, MutationKind::kTruncate,
+                          MutationKind::kHeaderFuzz}) {
+    const auto seed = 8u + static_cast<std::uint64_t>(i);
+    write_file(dir / (stem + "_m" + std::to_string(i) + ".bin"),
+               dtse::testing::mutate(golden, kind, seed, header_bytes));
+    ++i;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: make_fuzz_corpus <outdir>\n";
+    return 1;
+  }
+  const std::filesystem::path out(argv[1]);
+  const auto btpc_dir = out / "btpc";
+  const auto hs_dir = out / "hyperspec";
+  std::filesystem::create_directories(btpc_dir);
+  std::filesystem::create_directories(hs_dir);
+
+  using dtse::support::SyntheticKind;
+  // BTPC: both traversals hit the same stream; vary content, size, lossiness.
+  int n = 0;
+  for (const auto& [kind, edge] : {std::pair{SyntheticKind::kCompound, 48},
+                                   std::pair{SyntheticKind::kEdges, 32},
+                                   std::pair{SyntheticKind::kTexture, 64}}) {
+    const auto image = dtse::support::make_synthetic_image(edge, edge, kind, 1999u + n);
+    for (const int delta : {1, 4}) {
+      dtse::btpc::Encoder encoder(image.width(), image.height());
+      dtse::btpc::CodecOptions options;
+      options.lossy = delta > 1;
+      options.quantizer_delta = delta;
+      emit(btpc_dir, "seed" + std::to_string(n++),
+           dtse::btpc::serialize(encoder.encode(image, options)), 14);
+    }
+  }
+
+  // Hyperspec: vary geometry and coder options.
+  n = 0;
+  for (const auto& shape : {dtse::hyperspec::CubeShape{4, 12, 12},
+                            dtse::hyperspec::CubeShape{8, 8, 16}}) {
+    for (const int unary : {8, 16}) {
+      const auto cube = dtse::hyperspec::make_synthetic_cube(shape, 77u + n);
+      dtse::hyperspec::Encoder encoder(shape);
+      dtse::hyperspec::HsCodecOptions options;
+      options.unary_limit = unary;
+      emit(hs_dir, "seed" + std::to_string(n++),
+           dtse::hyperspec::serialize(encoder.encode(cube, options)), 18);
+    }
+  }
+
+  std::cout << "corpus written under " << out << '\n';
+  return 0;
+}

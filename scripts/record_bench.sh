@@ -21,7 +21,8 @@ cmake --build "$BUILD_DIR" -j --target perf_microbench
 # silently dropped them (filtered run, renamed bench) would let the nightly
 # compare gate pass on an empty intersection.
 for bench in BM_MotionEstimate BM_ExploreMotion BM_ExploreMultiWorkload \
-             BM_HyperspecEncode BM_ProfiledFeedback256; do
+             BM_HyperspecEncode BM_ProfiledFeedback256 \
+             BM_BitWriterThroughput BM_BitReaderThroughput BM_EncodeLossless; do
   if ! grep -q "\"$bench" "$OUT"; then
     echo "error: $OUT is missing $bench — incomplete trajectory point" >&2
     exit 1

@@ -88,6 +88,14 @@ class BranchAndBound {
  private:
   void recurse(std::size_t depth, int used_memories) {
     ++nodes_;
+    // Coarse-stride cancellation poll: cheap against the build_memory work a
+    // node does, fine-grained enough to stop within a few thousand nodes.
+    if (cancelled_ ||
+        (options_.cancel != nullptr && (nodes_ & 0x3FFu) == 0 &&
+         options_.cancel->cancelled())) {
+      cancelled_ = true;
+      return;
+    }
     if (depth == order_.size()) {
       const double scalar = options_.weights.area_weight * state_.area +
                             options_.weights.power_weight * state_.power;
@@ -143,6 +151,7 @@ class BranchAndBound {
   std::vector<int> assignment_;
   AssignmentSolution best_;
   std::uint64_t nodes_ = 0;
+  bool cancelled_ = false;
 };
 
 AssignmentSolution solve_greedy(const AssignmentProblem& problem, int memory_count,
@@ -156,6 +165,13 @@ AssignmentSolution solve_greedy(const AssignmentProblem& problem, int memory_cou
   std::uint64_t evaluations = 0;
 
   for (const auto group : search_order(problem)) {
+    if (options.cancel != nullptr && options.cancel->cancelled()) {
+      // A partial constructive assignment is not a solution; report the run
+      // as infeasible and let the caller's degradation policy take over.
+      solution.feasible = false;
+      solution.nodes_explored = evaluations;
+      return solution;
+    }
     int best_m = -1;
     double best_delta = std::numeric_limits<double>::max();
     double best_area = 0.0;
@@ -274,6 +290,11 @@ ChainOutcome anneal_chain(const AssignmentProblem& problem, int memory_count,
   const int reheat_after = options.sa_reheat_stagnation;
   int stagnant = 0;
   for (int it = 0; it < iterations; ++it, temperature *= decay) {
+    // Poll every 512 moves: the chain stops with its best-so-far, which can
+    // never be worse than the start it was given.
+    if (options.cancel != nullptr && (it & 0x1FF) == 0 && options.cancel->cancelled()) {
+      break;
+    }
     if (reheat_after > 0 && stagnant >= reheat_after) {
       temperature = sa_start_temperature(current, options);
       stagnant = 0;

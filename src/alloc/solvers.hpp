@@ -20,6 +20,7 @@
 
 #include "alloc/assignment_problem.hpp"
 #include "memlib/memory_cost.hpp"
+#include "support/cancellation.hpp"
 
 namespace dtse::alloc {
 
@@ -87,6 +88,13 @@ struct SolverOptions {
   /// baseline kept for the ablation/benchmark comparison.  Identical results
   /// either way (the incremental cost is bit-exact), only slower.
   bool sa_incremental = true;
+  /// Cooperative cancellation (not owned; may be null).  Every solver polls
+  /// it at a coarse stride — annealing chains every few hundred moves, B&B
+  /// every few thousand nodes, greedy per group — and returns its best
+  /// solution so far when it fires.  A cancelled run is still feasible when
+  /// the partial search found any feasible assignment; only determinism
+  /// *across different cancellation times* is given up, never within one.
+  const support::CancellationToken* cancel = nullptr;
 };
 
 struct AssignmentSolution {

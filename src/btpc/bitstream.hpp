@@ -33,6 +33,13 @@ class BitWriter {
   }
 
   /// Appends `count` bits (MSB first) of `bits`.
+  ///
+  /// Width invariant: one `put` carries at most 24 bits (the accumulator
+  /// holds < 16 pending bits on entry, so 24 is the largest width that can
+  /// never overflow the 64-bit shift; it also covers the widest field any
+  /// coder emits).  `BitReader::get` accepts up to 32 bits because a read
+  /// may span several writes — the asymmetry is deliberate and round-trip
+  /// tested at every width in [1, 24].
   void put(std::uint32_t bits, int count) {
     DTSE_CHECK(count >= 0 && count <= 24, "bit count out of range");
     DTSE_CHECK(count == 24 || bits < (1u << count), "value does not fit in bit count");
@@ -76,18 +83,43 @@ class BitWriter {
   trace::InstrumentedArray<std::uint16_t>* out_buf_ = nullptr;
 };
 
+/// Reads a 16-bit-word stream MSB first.  Hardened against truncation:
+/// exhaustion detection is *always on* (Release included) and branch-cheap —
+/// one predictable `bits_read_ + count > total_bits_` compare per `get`
+/// replaces the per-word bounds check, so there is no path from a short or
+/// bit-flipped stream to an out-of-bounds read.  Running out of bits is a
+/// *data* condition, not a contract violation: an exhausted reader returns
+/// zero bits, latches `overrun()`, and keeps accepting calls (every
+/// subsequent `get` also returns 0), so decode loops finish their bounded
+/// work and the hardened decoders turn the latched flag into a clean
+/// `Status` instead of throwing mid-pipeline.
+///
+/// Width invariant with `BitWriter`: the writer emits at most 24 bits per
+/// `put`, the reader takes up to 32 per `get` — a multi-`put` field (e.g.
+/// two 16-bit halves) may be read back in one call, so the reader's limit is
+/// intentionally wider.  Decoders that read a field written by a *single*
+/// `put` must ask for <= 24 bits; see the width round-trip test.
 class BitReader {
  public:
-  explicit BitReader(const std::vector<std::uint16_t>& words) : words_(&words) {}
+  explicit BitReader(const std::vector<std::uint16_t>& words)
+      : words_(&words), total_bits_(static_cast<std::uint64_t>(words.size()) * 16u) {}
 
   /// Reads `count` bits (up to 32) MSB first, crossing word boundaries in
-  /// one call.  Reading past the end throws.
+  /// one call.  Reading past the end yields 0 and latches `overrun()`.
   [[nodiscard]] std::uint32_t get(int count) {
     DTSE_CHECK(count >= 0 && count <= 32, "bit count out of range");
+    if (bits_read_ + static_cast<std::uint64_t>(count) > total_bits_) [[unlikely]] {
+      // Truncated input: consume nothing, report zeros from here on.
+      overrun_ = true;
+      bits_read_ = total_bits_;
+      word_pos_ = words_->size();
+      bit_pos_ = 0;
+      return 0;
+    }
     std::uint32_t value = 0;
     int need = count;
     while (need > 0) {
-      DTSE_CHECK(word_pos_ < words_->size(), "bitstream exhausted");
+      DTSE_DCHECK(word_pos_ < words_->size(), "bitstream exhausted");
       const int avail = 16 - bit_pos_;
       const int take = need < avail ? need : avail;
       const auto word = (*words_)[word_pos_];
@@ -109,12 +141,18 @@ class BitReader {
   [[nodiscard]] int get_bit() { return static_cast<int>(get(1)); }
 
   [[nodiscard]] std::uint64_t bits_read() const { return bits_read_; }
+  /// Bits left before the reader runs dry.
+  [[nodiscard]] std::uint64_t bits_left() const { return total_bits_ - bits_read_; }
+  /// True once any `get` asked for more bits than the stream held.
+  [[nodiscard]] bool overrun() const { return overrun_; }
 
  private:
   const std::vector<std::uint16_t>* words_;
+  std::uint64_t total_bits_;
   std::size_t word_pos_ = 0;
   int bit_pos_ = 0;  // 0 = MSB of current word
   std::uint64_t bits_read_ = 0;
+  bool overrun_ = false;
 };
 
 }  // namespace dtse::btpc

@@ -1,6 +1,7 @@
 #include "btpc/codec.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "btpc/predictor.hpp"
 #include "support/check.hpp"
@@ -260,8 +261,43 @@ EncodedImage Encoder::encode(const support::Image& image, const CodecOptions& op
   return encoded;
 }
 
-support::Image Decoder::decode(const EncodedImage& encoded) {
-  DTSE_CHECK(encoded.width > 0 && encoded.height > 0, "malformed encoded image");
+support::Result<support::Image> Decoder::try_decode(const EncodedImage& encoded) {
+  // Header validation before anything allocates: dimensions within the
+  // decode caps, quantizer in the range the encoder can produce, and the
+  // stream long enough to plausibly carry the geometry (top-lattice pixels
+  // cost 8 bits raw, every detail symbol at least 1 — so a well-formed
+  // stream holds at least one bit per pixel).  The bound ties the image
+  // allocation to the input size: a tiny stream cannot demand a huge frame.
+  if (encoded.width < 1 || encoded.width > kMaxDecodeDim || encoded.height < 1 ||
+      encoded.height > kMaxDecodeDim) {
+    return support::Status::error(
+        support::StatusCode::kMalformedHeader,
+        "image dimensions " + std::to_string(encoded.width) + "x" +
+            std::to_string(encoded.height) + " outside [1, " +
+            std::to_string(kMaxDecodeDim) + "]");
+  }
+  const auto pixels = static_cast<std::uint64_t>(encoded.width) *
+                      static_cast<std::uint64_t>(encoded.height);
+  if (pixels > kMaxDecodePixels) {
+    return support::Status::error(
+        support::StatusCode::kResourceLimit,
+        "frame of " + std::to_string(pixels) + " pixels exceeds the decode cap");
+  }
+  if (encoded.lossy &&
+      (encoded.quantizer_delta < 1 || encoded.quantizer_delta > 64)) {
+    return support::Status::error(
+        support::StatusCode::kMalformedHeader,
+        "quantizer delta " + std::to_string(encoded.quantizer_delta) +
+            " outside [1, 64]");
+  }
+  if (pixels > encoded.bits()) {
+    return support::Status::error(
+        support::StatusCode::kTruncated,
+        "stream of " + std::to_string(encoded.bits()) + " bits cannot carry " +
+            std::to_string(pixels) + " pixels",
+        encoded.bits());
+  }
+
   support::Image image(encoded.width, encoded.height);
   BitReader reader(encoded.stream);
   AdaptiveHuffmanBank huffman;
@@ -299,7 +335,20 @@ support::Image Decoder::decode(const EncodedImage& encoded) {
           static_cast<std::uint16_t>(clamp_sample(prediction.value + residual));
     });
   }
+  // The soft reader finished the (bounded) point walk on zeros if the stream
+  // ran dry; surface that as the data error it is.
+  if (reader.overrun()) {
+    return support::Status::error(support::StatusCode::kTruncated,
+                                  "bitstream exhausted mid-decode",
+                                  reader.bits_read());
+  }
   return image;
+}
+
+support::Image Decoder::decode(const EncodedImage& encoded) {
+  auto result = try_decode(encoded);
+  DTSE_CHECK(result.ok(), "decode of a malformed stream: " + result.status().to_string());
+  return result.take();
 }
 
 std::vector<std::uint8_t> serialize(const EncodedImage& encoded) {
@@ -323,10 +372,16 @@ std::vector<std::uint8_t> serialize(const EncodedImage& encoded) {
   return bytes;
 }
 
-EncodedImage deserialize(const std::vector<std::uint8_t>& bytes) {
-  DTSE_CHECK(bytes.size() >= 14 && bytes[0] == 'B' && bytes[1] == 'T' && bytes[2] == 'P' &&
-                 bytes[3] == 'C',
-             "not a BTPC container");
+support::Result<EncodedImage> try_deserialize(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < 14) {
+    return support::Status::error(support::StatusCode::kTruncated,
+                                  "container shorter than the 14-byte header",
+                                  static_cast<std::uint64_t>(bytes.size()) * 8);
+  }
+  if (bytes[0] != 'B' || bytes[1] != 'T' || bytes[2] != 'P' || bytes[3] != 'C') {
+    return support::Status::error(support::StatusCode::kMalformedHeader,
+                                  "missing BTPC magic", 0);
+  }
   auto get16 = [&](std::size_t offset) {
     return static_cast<std::uint32_t>((bytes[offset] << 8) | bytes[offset + 1]);
   };
@@ -336,12 +391,27 @@ EncodedImage deserialize(const std::vector<std::uint8_t>& bytes) {
   encoded.lossy = bytes[8] != 0;
   encoded.quantizer_delta = bytes[9];
   const std::size_t words = (get16(10) << 16) | get16(12);
-  DTSE_CHECK(bytes.size() >= 14 + words * 2, "truncated BTPC container");
+  // The declared word count bounds the allocation by the actual input size:
+  // a fuzzed length field cannot make the parser reserve past the bytes it
+  // was handed.
+  if (bytes.size() < 14 + words * 2) {
+    return support::Status::error(
+        support::StatusCode::kTruncated,
+        "container declares " + std::to_string(words) + " stream words but carries " +
+            std::to_string((bytes.size() - 14) / 2),
+        static_cast<std::uint64_t>(bytes.size()) * 8);
+  }
   encoded.stream.reserve(words);
   for (std::size_t i = 0; i < words; ++i) {
     encoded.stream.push_back(static_cast<std::uint16_t>(get16(14 + 2 * i)));
   }
   return encoded;
+}
+
+EncodedImage deserialize(const std::vector<std::uint8_t>& bytes) {
+  auto result = try_deserialize(bytes);
+  DTSE_CHECK(result.ok(), "malformed BTPC container: " + result.status().to_string());
+  return result.take();
 }
 
 ir::Application profile_btpc(const support::Image& image, int declared_width,

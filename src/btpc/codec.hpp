@@ -25,6 +25,7 @@
 #include "btpc/bitstream.hpp"
 #include "btpc/pyramid.hpp"
 #include "support/image.hpp"
+#include "support/status.hpp"
 #include "trace/instrumented_array.hpp"
 #include "trace/recorder.hpp"
 
@@ -120,14 +121,36 @@ class Encoder {
   std::size_t esc_tail_ = 0;
 };
 
+/// Decode hardening limits: the largest geometry `try_decode` will allocate
+/// for.  A hostile 16-byte header cannot request a multi-gigabyte image —
+/// dimensions are capped, and the stream must carry at least one bit per
+/// pixel (raw top-lattice pixels cost 8, detail symbols >= 1), so the
+/// allocation is additionally bounded by the input size.
+inline constexpr int kMaxDecodeDim = 16384;
+inline constexpr std::uint64_t kMaxDecodePixels = std::uint64_t{1} << 26;
+
 /// Decoder; stateless between images.
 class Decoder {
  public:
+  /// Hardened decode for untrusted streams: validates the header (dimension
+  /// and allocation caps, quantizer range, minimum stream length) and runs
+  /// the entropy decoder with soft exhaustion, returning a `Status` instead
+  /// of throwing on any data error.  Crash-free, hang-free and leak-free on
+  /// arbitrary bytes; work is bounded by the validated geometry.
+  [[nodiscard]] support::Result<support::Image> try_decode(const EncodedImage& encoded);
+
+  /// Trusted-stream wrapper: `try_decode` that throws `ContractError` on a
+  /// data error.  Only for self-produced streams (tests, benches, examples).
   [[nodiscard]] support::Image decode(const EncodedImage& encoded);
 };
 
 /// Serialization of the header + stream into bytes (for files).
 [[nodiscard]] std::vector<std::uint8_t> serialize(const EncodedImage& encoded);
+/// Hardened container parse for untrusted bytes (magic, header ranges,
+/// declared-vs-actual length) returning a `Status` on any mismatch.
+[[nodiscard]] support::Result<EncodedImage> try_deserialize(
+    const std::vector<std::uint8_t>& bytes);
+/// Trusted-bytes wrapper over `try_deserialize`; throws on a data error.
 [[nodiscard]] EncodedImage deserialize(const std::vector<std::uint8_t>& bytes);
 
 /// Convenience: profile one full encode of `image` and return the pruned

@@ -127,8 +127,12 @@ ir::Application merge_applications(
 }
 
 std::string Evaluation::to_string() const {
+  if (!error.empty()) {
+    return "[ERROR] " + error + (timed_out ? " [TIMED OUT]" : "");
+  }
   std::ostringstream os;
   os << summary << (feasible ? "" : " [INFEASIBLE]") << ", spare cycles " << spare_cycles;
+  if (timed_out) os << " [TIMED OUT]";
   return os.str();
 }
 
@@ -146,13 +150,38 @@ Evaluation Explorer::evaluate(const ir::Application& app,
   // Power averages over the frame period set by the real-time constraint,
   // not over the (possibly tightened) storage budget.
   alloc_options.frame_cycles = options.real_time_budget_cycles;
+  // Plumb the cancellation source into the solvers (they poll it at coarse
+  // strides and return their best-so-far when it fires).
+  if (alloc_options.solver.cancel == nullptr) {
+    alloc_options.solver.cancel = options.cancel;
+  }
   eval.allocation = allocator_.allocate(app, eval.scbd.conflicts, alloc_options);
 
   eval.summary = eval.allocation.summary;
   eval.spare_cycles = eval.scbd.spare_cycles(options.real_time_budget_cycles);
   eval.feasible = eval.scbd.feasible && eval.allocation.feasible;
+  eval.timed_out = options.cancel != nullptr && options.cancel->cancelled();
   return eval;
 }
+
+namespace {
+
+/// Shared degradation wrapper of the sweep bodies: a throwing point becomes
+/// a reported, infeasible `Evaluation` (never a dead sweep), and a point cut
+/// short by the deadline/cancellation token is flagged `timed_out`.
+template <typename Fn>
+void guarded_sweep_point(Evaluation& eval, const support::CancellationToken& token,
+                         Fn&& fn) {
+  try {
+    fn();
+  } catch (const std::exception& e) {
+    eval = Evaluation{};
+    eval.error = e.what();
+    eval.timed_out = token.cancelled();
+  }
+}
+
+}  // namespace
 
 graph::MacpReport Explorer::analyze_critical_path(const ir::Application& app,
                                                   const ExplorerOptions& options) const {
@@ -163,11 +192,15 @@ std::vector<Variant> Explorer::explore_variants(
     std::vector<std::pair<std::string, ir::Application>> variants,
     const ExplorerOptions& options) const {
   std::vector<Variant> result(variants.size());
-  const auto eval_options = without_nested_parallelism(options, variants.size());
+  support::CancellationToken deadline(options.cancel);
+  if (options.time_budget_ms > 0) deadline.set_deadline_after_ms(options.time_budget_ms);
+  auto eval_options = without_nested_parallelism(options, variants.size());
+  eval_options.cancel = &deadline;
   support::parallel_for(variants.size(), options.parallelism, [&](std::size_t i) {
     auto& [label, app] = variants[i];
-    result[i].eval = evaluate(app, eval_options);
     result[i].label = std::move(label);
+    guarded_sweep_point(result[i].eval, deadline,
+                        [&] { result[i].eval = evaluate(app, eval_options); });
     result[i].app = std::move(app);
   });
   return result;
@@ -177,13 +210,17 @@ std::vector<BudgetPoint> Explorer::explore_cycle_budgets(
     const ir::Application& app, const std::vector<std::uint64_t>& budgets,
     const ExplorerOptions& options) const {
   std::vector<BudgetPoint> points(budgets.size());
-  const auto eval_options = without_nested_parallelism(options, budgets.size());
+  support::CancellationToken deadline(options.cancel);
+  if (options.time_budget_ms > 0) deadline.set_deadline_after_ms(options.time_budget_ms);
+  auto eval_options = without_nested_parallelism(options, budgets.size());
+  eval_options.cancel = &deadline;
   support::parallel_for(budgets.size(), options.parallelism, [&](std::size_t i) {
     auto point_options = eval_options;
     point_options.storage_budget_cycles = budgets[i];
     BudgetPoint point;
     point.requested_budget = budgets[i];
-    point.eval = evaluate(app, point_options);
+    guarded_sweep_point(point.eval, deadline,
+                        [&] { point.eval = evaluate(app, point_options); });
     point.used_cycles = point.eval.scbd.used_cycles;
     point.spare_cycles = point.eval.spare_cycles;
     point.spare_percent = 100.0 * static_cast<double>(point.spare_cycles) /
@@ -269,12 +306,16 @@ std::vector<Variant> Explorer::explore_allocation_counts(
     const ir::Application& app, const std::vector<int>& counts,
     const ExplorerOptions& options) const {
   std::vector<Variant> result(counts.size());
-  const auto eval_options = without_nested_parallelism(options, counts.size());
+  support::CancellationToken deadline(options.cancel);
+  if (options.time_budget_ms > 0) deadline.set_deadline_after_ms(options.time_budget_ms);
+  auto eval_options = without_nested_parallelism(options, counts.size());
+  eval_options.cancel = &deadline;
   support::parallel_for(counts.size(), options.parallelism, [&](std::size_t i) {
     auto count_options = eval_options;
     count_options.allocation.onchip_memories = counts[i];
     result[i].label = std::to_string(counts[i]) + " on-chip memories";
-    result[i].eval = evaluate(app, count_options);
+    guarded_sweep_point(result[i].eval, deadline,
+                        [&] { result[i].eval = evaluate(app, count_options); });
     result[i].app = app;
   });
   return result;

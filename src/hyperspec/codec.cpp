@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <string>
 
 #include "support/rng.hpp"
 
@@ -326,13 +327,55 @@ EncodedCube Encoder::encode(const Cube& cube, const HsCodecOptions& options) {
   return encoded;
 }
 
-Cube Decoder::decode(const EncodedCube& encoded) {
-  DTSE_CHECK(encoded.shape.valid(), "malformed encoded cube");
+support::Result<Cube> Decoder::try_decode(const EncodedCube& encoded) {
+  // Header validation before the cube allocates.  The coder options travel
+  // in the stream, so their ranges are data-reachable here (the same ranges
+  // `check_options` enforces as an API contract on the encode side).
+  const auto& shape = encoded.shape;
+  if (!shape.valid() || shape.bands > kMaxDecodeBands || shape.height > kMaxDecodeEdge ||
+      shape.width > kMaxDecodeEdge) {
+    return support::Status::error(
+        support::StatusCode::kMalformedHeader,
+        "cube geometry " + std::to_string(shape.bands) + "x" +
+            std::to_string(shape.height) + "x" + std::to_string(shape.width) +
+            " outside the decode caps");
+  }
+  if (shape.samples() > kMaxDecodeSamples) {
+    return support::Status::error(
+        support::StatusCode::kResourceLimit,
+        "cube of " + std::to_string(shape.samples()) + " samples exceeds the decode cap");
+  }
+  if (encoded.dynamic_range_bits < 2 || encoded.dynamic_range_bits > 16) {
+    return support::Status::error(
+        support::StatusCode::kMalformedHeader,
+        "dynamic range " + std::to_string(encoded.dynamic_range_bits) +
+            " outside [2, 16]");
+  }
+  if (encoded.unary_limit < 1 || encoded.unary_limit > 24) {
+    return support::Status::error(
+        support::StatusCode::kMalformedHeader,
+        "unary limit " + std::to_string(encoded.unary_limit) + " outside [1, 24]");
+  }
+  if (encoded.rescale_limit < 8 || encoded.rescale_limit > 4096) {
+    return support::Status::error(
+        support::StatusCode::kMalformedHeader,
+        "rescale limit " + std::to_string(encoded.rescale_limit) + " outside [8, 4096]");
+  }
+  // Every Rice code costs at least its 1-bit quotient terminator, so a
+  // stream shorter than one bit per sample is truncated by construction —
+  // and the cube allocation stays bounded by the input size.
+  if (shape.samples() > encoded.bits()) {
+    return support::Status::error(
+        support::StatusCode::kTruncated,
+        "stream of " + std::to_string(encoded.bits()) + " bits cannot carry " +
+            std::to_string(shape.samples()) + " samples",
+        encoded.bits());
+  }
+
   HsCodecOptions options;
   options.dynamic_range_bits = encoded.dynamic_range_bits;
   options.unary_limit = encoded.unary_limit;
   options.rescale_limit = encoded.rescale_limit;
-  check_options(options);
   const int maxval = (1 << options.dynamic_range_bits) - 1;
   const int max_k = options.dynamic_range_bits;
   const int width = encoded.shape.width;
@@ -359,12 +402,119 @@ Cube Decoder::decode(const EncodedCube& encoded) {
         // lossless and strictly causal in (band, raster) order.
         const int pred = predict_sample(z > 0, curr, prev, y, x, width, maxval);
         const int sample = pred + unmap_residual(static_cast<int>(mapped), pred, maxval);
-        DTSE_CHECK(sample >= 0 && sample <= maxval, "corrupt hyperspectral stream");
+        // A reconstructed sample outside [0, maxval] is the stream's built-in
+        // corruption tripwire — a data error, not a contract violation.
+        if (sample < 0 || sample > maxval) {
+          return support::Status::error(support::StatusCode::kCorrupt,
+                                        "reconstructed sample outside the declared "
+                                        "dynamic range",
+                                        reader.bits_read());
+        }
         cube.at(z, y, x) = static_cast<std::uint16_t>(sample);
       }
     }
   }
+  if (reader.overrun()) {
+    return support::Status::error(support::StatusCode::kTruncated,
+                                  "bitstream exhausted mid-decode", reader.bits_read());
+  }
   return cube;
+}
+
+Cube Decoder::decode(const EncodedCube& encoded) {
+  auto result = try_decode(encoded);
+  DTSE_CHECK(result.ok(), "hyperspec decode failed: " + result.status().to_string());
+  return result.take();
+}
+
+namespace {
+
+constexpr std::uint8_t kHsMagic[4] = {'H', 'S', 'C', '1'};
+constexpr std::size_t kHsHeaderBytes = 18;
+
+void put_u16(std::vector<std::uint8_t>& bytes, std::uint32_t v) {
+  bytes.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFFu));
+  bytes.push_back(static_cast<std::uint8_t>(v & 0xFFu));
+}
+
+void put_u32(std::vector<std::uint8_t>& bytes, std::uint32_t v) {
+  put_u16(bytes, (v >> 16) & 0xFFFFu);
+  put_u16(bytes, v & 0xFFFFu);
+}
+
+[[nodiscard]] std::uint32_t get_u16(const std::vector<std::uint8_t>& bytes,
+                                    std::size_t at) {
+  return (static_cast<std::uint32_t>(bytes[at]) << 8) |
+         static_cast<std::uint32_t>(bytes[at + 1]);
+}
+
+[[nodiscard]] std::uint32_t get_u32(const std::vector<std::uint8_t>& bytes,
+                                    std::size_t at) {
+  return (get_u16(bytes, at) << 16) | get_u16(bytes, at + 2);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize(const EncodedCube& encoded) {
+  DTSE_CHECK(encoded.shape.valid(), "malformed encoded cube");
+  DTSE_CHECK(encoded.shape.bands <= 0xFFFF && encoded.shape.height <= 0xFFFF &&
+                 encoded.shape.width <= 0xFFFF,
+             "cube geometry does not fit the container");
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(kHsHeaderBytes + encoded.stream.size() * 2);
+  bytes.insert(bytes.end(), std::begin(kHsMagic), std::end(kHsMagic));
+  put_u16(bytes, static_cast<std::uint32_t>(encoded.shape.bands));
+  put_u16(bytes, static_cast<std::uint32_t>(encoded.shape.height));
+  put_u16(bytes, static_cast<std::uint32_t>(encoded.shape.width));
+  bytes.push_back(static_cast<std::uint8_t>(encoded.dynamic_range_bits));
+  bytes.push_back(static_cast<std::uint8_t>(encoded.unary_limit));
+  put_u16(bytes, static_cast<std::uint32_t>(encoded.rescale_limit));
+  put_u32(bytes, static_cast<std::uint32_t>(encoded.stream.size()));
+  for (const auto word : encoded.stream) put_u16(bytes, word);
+  return bytes;
+}
+
+support::Result<EncodedCube> try_deserialize(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < kHsHeaderBytes) {
+    return support::Status::error(
+        support::StatusCode::kTruncated,
+        "container of " + std::to_string(bytes.size()) + " bytes is shorter than the " +
+            std::to_string(kHsHeaderBytes) + "-byte header",
+        bytes.size() * 8);
+  }
+  if (!std::equal(std::begin(kHsMagic), std::end(kHsMagic), bytes.begin())) {
+    return support::Status::error(support::StatusCode::kMalformedHeader,
+                                  "bad container magic (expected \"HSC1\")", 0);
+  }
+  EncodedCube encoded;
+  encoded.shape.bands = static_cast<int>(get_u16(bytes, 4));
+  encoded.shape.height = static_cast<int>(get_u16(bytes, 6));
+  encoded.shape.width = static_cast<int>(get_u16(bytes, 8));
+  encoded.dynamic_range_bits = static_cast<int>(bytes[10]);
+  encoded.unary_limit = static_cast<int>(bytes[11]);
+  encoded.rescale_limit = static_cast<int>(get_u16(bytes, 12));
+  const std::uint32_t declared_words = get_u32(bytes, 14);
+  const std::size_t actual_words = (bytes.size() - kHsHeaderBytes) / 2;
+  if (declared_words != actual_words ||
+      bytes.size() != kHsHeaderBytes + static_cast<std::size_t>(declared_words) * 2) {
+    return support::Status::error(
+        support::StatusCode::kTruncated,
+        "container declares " + std::to_string(declared_words) + " stream words but " +
+            std::to_string(actual_words) + " are present",
+        kHsHeaderBytes * 8);
+  }
+  encoded.stream.reserve(declared_words);
+  for (std::size_t i = 0; i < declared_words; ++i) {
+    encoded.stream.push_back(
+        static_cast<std::uint16_t>(get_u16(bytes, kHsHeaderBytes + i * 2)));
+  }
+  return encoded;
+}
+
+EncodedCube deserialize(const std::vector<std::uint8_t>& bytes) {
+  auto result = try_deserialize(bytes);
+  DTSE_CHECK(result.ok(), "hyperspec deserialize failed: " + result.status().to_string());
+  return result.take();
 }
 
 ir::Application profile_hyperspec(const Cube& cube, CubeShape declared,

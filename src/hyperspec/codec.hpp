@@ -31,6 +31,7 @@
 #include "btpc/bitstream.hpp"
 #include "ir/application.hpp"
 #include "support/check.hpp"
+#include "support/status.hpp"
 #include "trace/instrumented_array.hpp"
 #include "trace/recorder.hpp"
 
@@ -174,11 +175,37 @@ class Encoder {
   trace::InstrumentedArray<std::uint16_t> out_buf_;     ///< output stream ring
 };
 
+/// Decode hardening limits: the largest cube `try_decode` will allocate for.
+/// Combined with the one-bit-per-sample minimum stream length (a Rice code
+/// is at least the 1-bit quotient terminator), a hostile header cannot make
+/// the decoder allocate a multi-gigabyte cube from a tiny stream.
+inline constexpr int kMaxDecodeBands = 4096;
+inline constexpr int kMaxDecodeEdge = 16384;
+inline constexpr std::uint64_t kMaxDecodeSamples = std::uint64_t{1} << 26;
+
 /// Decoder; stateless between cubes.
 class Decoder {
  public:
+  /// Hardened decode for untrusted streams: validates the header (geometry
+  /// caps, coder-option ranges, minimum stream length) and decodes with soft
+  /// bitstream exhaustion, returning a `Status` on any data error —
+  /// including a reconstructed sample outside the declared dynamic range,
+  /// the stream's built-in corruption tripwire.  Crash-free, hang-free and
+  /// leak-free on arbitrary bytes; the unary loop is bounded by
+  /// `unary_limit` and total work by the validated geometry.
+  [[nodiscard]] support::Result<Cube> try_decode(const EncodedCube& encoded);
+
+  /// Trusted-stream wrapper over `try_decode`; throws on a data error.
   [[nodiscard]] Cube decode(const EncodedCube& encoded);
 };
+
+/// Serialization of the header + stream into bytes (the "HSC1" container).
+[[nodiscard]] std::vector<std::uint8_t> serialize(const EncodedCube& encoded);
+/// Hardened container parse for untrusted bytes; `Status` on any mismatch.
+[[nodiscard]] support::Result<EncodedCube> try_deserialize(
+    const std::vector<std::uint8_t>& bytes);
+/// Trusted-bytes wrapper over `try_deserialize`; throws on a data error.
+[[nodiscard]] EncodedCube deserialize(const std::vector<std::uint8_t>& bytes);
 
 /// Convenience: profile one full encode of `cube` and return the pruned
 /// application model, declared at `declared` geometry and extrapolated by

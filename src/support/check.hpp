@@ -5,6 +5,17 @@
 // tests can observe violations.  Internal invariants that indicate a bug in
 // this library itself use `DTSE_ASSERT`, which also throws, keeping behaviour
 // identical between build types (no NDEBUG surprises).
+//
+// THE SPLIT RULE (audited; keep it that way): `DTSE_CHECK` / `DTSE_ASSERT` /
+// `DTSE_DCHECK` are reserved for *code* errors — API misuse by a caller in
+// this process, or a broken internal invariant.  A condition that can be
+// made false by the *contents of data* crossing a trust boundary (a
+// bitstream or container from disk or the network, a cached profile
+// artifact, a job request) must NOT be a check: it is a normal input for a
+// hardened entry point and is reported as a `support::Status` /
+// `support::Result<T>` value (see status.hpp).  Decode paths expose
+// `try_decode` / `try_deserialize` returning Results; their throwing
+// wrappers exist only for callers feeding trusted, self-produced streams.
 #pragma once
 
 #include <sstream>

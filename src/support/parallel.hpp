@@ -7,15 +7,23 @@
 // interleave — determinism is a property of the paper's feedback oracle and
 // must survive parallel evaluation.
 //
-// The first exception thrown by any fn() is captured and rethrown on the
-// calling thread after all workers joined; later exceptions are dropped.
+// Worker exceptions are never lost: every thrown exception is captured with
+// its index, all workers drain to completion (one failed index does not
+// strand the rest of the range), and after the join the exception of the
+// *smallest failing index* is rethrown on the calling thread — the same
+// exception a serial loop would have surfaced first, so propagation is
+// deterministic regardless of thread scheduling.  Callers that need every
+// failure (not just the first) use `parallel_for_collect`, which returns all
+// captured (index, exception) pairs instead of throwing.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <exception>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace dtse::support {
@@ -28,18 +36,28 @@ namespace dtse::support {
   return hw != 0 ? hw : 1;
 }
 
+/// Runs `fn(i)` over [0, n) and returns every captured worker exception as
+/// (index, exception_ptr) pairs sorted by index; an empty vector means every
+/// index completed.  Never throws from worker failures itself.
 template <typename Fn>
-void parallel_for(std::size_t n, unsigned parallelism, Fn&& fn) {
-  if (n == 0) return;
+[[nodiscard]] std::vector<std::pair<std::size_t, std::exception_ptr>>
+parallel_for_collect(std::size_t n, unsigned parallelism, Fn&& fn) {
+  std::vector<std::pair<std::size_t, std::exception_ptr>> errors;
+  if (n == 0) return errors;
   const std::size_t workers =
       std::min<std::size_t>(effective_parallelism(parallelism), n);
   if (workers <= 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
-    return;
+    for (std::size_t i = 0; i < n; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        errors.emplace_back(i, std::current_exception());
+      }
+    }
+    return errors;
   }
 
   std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
   std::mutex error_mutex;
   auto drain = [&] {
     for (;;) {
@@ -49,7 +67,7 @@ void parallel_for(std::size_t n, unsigned parallelism, Fn&& fn) {
         fn(i);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        errors.emplace_back(i, std::current_exception());
       }
     }
   };
@@ -59,7 +77,17 @@ void parallel_for(std::size_t n, unsigned parallelism, Fn&& fn) {
   for (std::size_t t = 1; t < workers; ++t) threads.emplace_back(drain);
   drain();  // the calling thread is worker 0
   for (auto& thread : threads) thread.join();
-  if (first_error) std::rethrow_exception(first_error);
+  std::sort(errors.begin(), errors.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return errors;
+}
+
+template <typename Fn>
+void parallel_for(std::size_t n, unsigned parallelism, Fn&& fn) {
+  const auto errors = parallel_for_collect(n, parallelism, std::forward<Fn>(fn));
+  // Deterministic propagation: the smallest failing index is what a serial
+  // loop would have thrown first, regardless of how workers interleaved.
+  if (!errors.empty()) std::rethrow_exception(errors.front().second);
 }
 
 }  // namespace dtse::support

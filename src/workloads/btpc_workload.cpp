@@ -26,7 +26,7 @@ ir::Application BtpcWorkload::profile(const WorkloadOptions& options) const {
   return core::profile_btpc_demonstrator(case_options(codec_, options));
 }
 
-bool BtpcWorkload::verify(const WorkloadOptions& options) const {
+VerifyReport BtpcWorkload::verify(const WorkloadOptions& options) const {
   const auto opts = case_options(codec_, options);
   const auto image = support::make_synthetic_image(opts.profile_width, opts.profile_height,
                                                    support::SyntheticKind::kCompound,
@@ -35,7 +35,15 @@ bool BtpcWorkload::verify(const WorkloadOptions& options) const {
   auto codec = codec_;
   codec.lossy = false;  // the golden check is the lossless round trip
   const auto encoded = encoder.encode(image, codec);
-  return btpc::Decoder{}.decode(encoded) == image;
+  auto decoded = btpc::Decoder{}.try_decode(encoded);
+  if (!decoded.ok()) {
+    return VerifyReport::fail("decode", decoded.status().to_string());
+  }
+  if (!(decoded.value() == image)) {
+    return VerifyReport::fail("round-trip",
+                              "lossless decode does not reproduce the input frame");
+  }
+  return VerifyReport::pass();
 }
 
 ir::Application BtpcWorkload::tuned_variant(const ir::Application& profiled) const {

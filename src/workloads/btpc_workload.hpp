@@ -19,7 +19,7 @@ class BtpcWorkload final : public Workload {
   }
 
   [[nodiscard]] ir::Application profile(const WorkloadOptions& options = {}) const override;
-  [[nodiscard]] bool verify(const WorkloadOptions& options = {}) const override;
+  [[nodiscard]] VerifyReport verify(const WorkloadOptions& options = {}) const override;
 
   /// Structuring (ridge+pyr merged) and the layer-0 hierarchy winner — the
   /// paper's best variant.

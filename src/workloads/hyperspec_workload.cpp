@@ -40,13 +40,21 @@ ir::Application HyperspecWorkload::profile(const WorkloadOptions& options) const
   return hyperspec::profile_hyperspec(cube, declared_, codec_, options.recorder);
 }
 
-bool HyperspecWorkload::verify(const WorkloadOptions& options) const {
+VerifyReport HyperspecWorkload::verify(const WorkloadOptions& options) const {
   const auto shape = profile_shape(options);
   const auto cube =
       hyperspec::make_synthetic_cube(shape, options.seed, codec_.dynamic_range_bits);
   hyperspec::Encoder encoder(shape);
   const auto encoded = encoder.encode(cube, codec_);
-  return hyperspec::Decoder{}.decode(encoded) == cube;
+  auto decoded = hyperspec::Decoder{}.try_decode(encoded);
+  if (!decoded.ok()) {
+    return VerifyReport::fail("decode", decoded.status().to_string());
+  }
+  if (!(decoded.value() == cube)) {
+    return VerifyReport::fail("round-trip",
+                              "lossless decode does not reproduce the input cube");
+  }
+  return VerifyReport::pass();
 }
 
 }  // namespace dtse::workloads

@@ -23,7 +23,7 @@ class HyperspecWorkload final : public Workload {
   }
 
   [[nodiscard]] ir::Application profile(const WorkloadOptions& options = {}) const override;
-  [[nodiscard]] bool verify(const WorkloadOptions& options = {}) const override;
+  [[nodiscard]] VerifyReport verify(const WorkloadOptions& options = {}) const override;
 
   /// Profiled geometry for a given options.profile_size (exposed so tests
   /// and benches can reason about the cube actually run).

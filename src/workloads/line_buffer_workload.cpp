@@ -171,12 +171,17 @@ ir::Application LineBufferWorkload::profile(const WorkloadOptions& options) cons
   return recorder.build(scale);
 }
 
-bool LineBufferWorkload::verify(const WorkloadOptions& options) const {
+VerifyReport LineBufferWorkload::verify(const WorkloadOptions& options) const {
   const int edge = profile_edge(options);
   const auto input = support::make_synthetic_image(
       edge, edge, support::SyntheticKind::kCompound, options.seed);
   Filter filter(edge, edge);
-  return filter.run(input) == reference_convolution(input);
+  if (!(filter.run(input) == reference_convolution(input))) {
+    return VerifyReport::fail(
+        "reference-compare",
+        "line-buffer filter disagrees with the coefficient-major reference convolution");
+  }
+  return VerifyReport::pass();
 }
 
 ir::Application LineBufferWorkload::tuned_variant(const ir::Application& profiled) const {

@@ -31,7 +31,7 @@ class LineBufferWorkload final : public Workload {
 
   /// Golden check: the kernel's output must match an independent
   /// coefficient-major reference convolution sample for sample.
-  [[nodiscard]] bool verify(const WorkloadOptions& options = {}) const override;
+  [[nodiscard]] VerifyReport verify(const WorkloadOptions& options = {}) const override;
 
   /// Applies the line-buffer promotion this access pattern is famous for:
   /// the five-line layer-1 buffer on the frame array (the register-window

@@ -1,6 +1,7 @@
 #include "workloads/motion_workload.hpp"
 
 #include <algorithm>
+#include <string>
 
 namespace dtse::workloads {
 
@@ -43,7 +44,7 @@ ir::Application MotionWorkload::profile(const WorkloadOptions& options) const {
                                 options.recorder);
 }
 
-bool MotionWorkload::verify(const WorkloadOptions& options) const {
+VerifyReport MotionWorkload::verify(const WorkloadOptions& options) const {
   const int edge = profile_edge(options);
   const auto frames = motion::make_synthetic_frame_pair(edge, edge, options.seed);
 
@@ -54,7 +55,8 @@ bool MotionWorkload::verify(const WorkloadOptions& options) const {
   const auto full_field = full.estimate(frames.reference, frames.current);
   if (full_field !=
       motion::reference_full_search(frames.reference, frames.current, exhaustive)) {
-    return false;
+    return VerifyReport::fail("reference-compare",
+                              "full-search field disagrees with the reference oracle");
   }
 
   // The configured strategy: every reported SAD must recompute exactly and
@@ -82,10 +84,16 @@ bool MotionWorkload::verify(const WorkloadOptions& options) const {
                                  frames.reference.at(bx * bs + x, by * bs + y))));
         }
       }
-      if (mv.sad != sad || mv.sad > null_sad) return false;
+      if (mv.sad != sad || mv.sad > null_sad) {
+        return VerifyReport::fail(
+            "sad-recompute", "block (" + std::to_string(bx) + ", " + std::to_string(by) +
+                                 ") reports SAD " + std::to_string(mv.sad) +
+                                 " but recomputes to " + std::to_string(sad) +
+                                 " (null-vector SAD " + std::to_string(null_sad) + ")");
+      }
     }
   }
-  return true;
+  return VerifyReport::pass();
 }
 
 }  // namespace dtse::workloads

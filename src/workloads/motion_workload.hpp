@@ -33,7 +33,7 @@ class MotionWorkload final : public Workload {
   /// independent oracle field bit for bit, and every vector the configured
   /// strategy reports must carry its exact recomputed SAD, no worse than the
   /// null vector's.
-  [[nodiscard]] bool verify(const WorkloadOptions& options = {}) const override;
+  [[nodiscard]] VerifyReport verify(const WorkloadOptions& options = {}) const override;
 
   /// Profiled frame edge for a given options.profile_size (exposed so tests
   /// and benches can reason about the frames actually run).

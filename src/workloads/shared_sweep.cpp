@@ -1,0 +1,61 @@
+#include "workloads/shared_sweep.hpp"
+
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace dtse::workloads {
+
+SharedSweepResult run_shared_sweep(const std::vector<const Workload*>& workloads,
+                                   const WorkloadOptions& workload_options,
+                                   const core::Explorer& explorer,
+                                   const std::vector<int>& counts,
+                                   const core::ExplorerOptions& explorer_options) {
+  DTSE_CHECK(!workloads.empty(), "shared sweep needs at least one workload");
+
+  SharedSweepResult result;
+  // Staged models of the survivors; stable storage for the merge pointers.
+  std::vector<ir::Application> tuned;
+  tuned.reserve(workloads.size());
+
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    const Workload* workload = workloads[i];
+    if (workload == nullptr) {
+      result.failures.push_back(
+          {"<null #" + std::to_string(i) + ">", "lookup", "null workload pointer"});
+      continue;
+    }
+    const std::string name(workload->name());
+    const char* stage = "verify";
+    try {
+      const auto report = workload->verify(workload_options);
+      if (!report.passed) {
+        result.failures.push_back({name, "verify", report.to_string()});
+        continue;
+      }
+      stage = "profile";
+      auto profiled = workload->profile(workload_options);
+      stage = "tuned_variant";
+      tuned.push_back(workload->tuned_variant(profiled));
+      result.survivors.push_back(name);
+    } catch (const std::exception& e) {
+      // A workload that throws anywhere in its staging is dropped with the
+      // exception text and the stage it got to; the sweep goes on without it.
+      result.failures.push_back({name, stage, e.what()});
+    }
+  }
+
+  DTSE_CHECK(!result.survivors.empty(),
+             "every workload failed staging; nothing to sweep");
+
+  std::vector<std::pair<std::string, const ir::Application*>> merged_inputs;
+  merged_inputs.reserve(result.survivors.size());
+  for (std::size_t i = 0; i < result.survivors.size(); ++i) {
+    merged_inputs.emplace_back(result.survivors[i], &tuned[i]);
+  }
+  result.variants =
+      explorer.explore_shared_allocation_counts(merged_inputs, counts, explorer_options);
+  return result;
+}
+
+}  // namespace dtse::workloads

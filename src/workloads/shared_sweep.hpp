@@ -1,0 +1,56 @@
+// Degradation-tolerant multi-workload exploration.
+//
+// A shared sweep prices one memory organization against several workloads at
+// once (`core::merge_applications`).  With workloads coming from a registry
+// — possibly third-party — one broken workload must not take the whole
+// sweep down: `run_shared_sweep` stages each workload through verify /
+// profile / tuned_variant individually, converts any failure (a failing
+// golden check or an escaping exception) into a `WorkloadFailure` record,
+// and runs the sweep over the survivors.  The sweep result plus the failure
+// roster is always returned; the only fatal case is *zero* survivors.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/explorer.hpp"
+#include "workloads/workload.hpp"
+
+namespace dtse::workloads {
+
+/// Why one workload was dropped from a shared sweep.
+struct WorkloadFailure {
+  std::string name;
+  /// Which staging step failed: "verify", "profile" or "tuned_variant".
+  std::string stage;
+  /// The VerifyReport text or the exception message.
+  std::string detail;
+
+  [[nodiscard]] std::string to_string() const {
+    return name + " dropped at " + stage + ": " + detail;
+  }
+};
+
+/// A completed shared sweep: the allocation-count variants over the merged
+/// survivor model, the survivor names (label order of the merge), and the
+/// failure roster of every workload that was dropped.
+struct SharedSweepResult {
+  std::vector<core::Variant> variants;
+  std::vector<std::string> survivors;
+  std::vector<WorkloadFailure> failures;
+
+  [[nodiscard]] bool complete() const { return failures.empty(); }
+};
+
+/// Stages every workload (verify, profile, tuned_variant — each guarded),
+/// merges the survivors and sweeps `counts` on-chip memory counts over the
+/// shared model.  Throws `support::ContractError` only when `workloads` is
+/// empty or every workload fails staging; any other failure is reported in
+/// `failures` while the sweep still completes.  Null pointers are reported,
+/// not dereferenced.
+[[nodiscard]] SharedSweepResult run_shared_sweep(
+    const std::vector<const Workload*>& workloads, const WorkloadOptions& workload_options,
+    const core::Explorer& explorer, const std::vector<int>& counts,
+    const core::ExplorerOptions& explorer_options = {});
+
+}  // namespace dtse::workloads

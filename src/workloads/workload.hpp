@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -27,6 +28,33 @@
 #include "trace/recorder.hpp"
 
 namespace dtse::workloads {
+
+/// Structured verdict of a workload's golden check.  A failing report names
+/// the stage that failed and what it saw, so a multi-workload driver can
+/// print *why* a workload was dropped instead of a bare `false` — and keep
+/// sweeping the survivors (see shared_sweep.hpp).
+struct [[nodiscard]] VerifyReport {
+  bool passed = true;
+  /// Which stage failed (e.g. "encode", "round-trip", "reference-compare");
+  /// empty on success.
+  std::string stage;
+  /// Human-readable detail of the mismatch; empty on success.
+  std::string detail;
+
+  [[nodiscard]] static VerifyReport pass() { return {}; }
+  [[nodiscard]] static VerifyReport fail(std::string stage, std::string detail) {
+    return {false, std::move(stage), std::move(detail)};
+  }
+
+  explicit operator bool() const { return passed; }
+
+  [[nodiscard]] std::string to_string() const {
+    if (passed) return "ok";
+    std::string text = "failed at " + stage;
+    if (!detail.empty()) text += ": " + detail;
+    return text;
+  }
+};
 
 /// Profiling knobs shared by every workload.  Workload-specific tunables
 /// (codec traversal, cube aspect, ...) live on the concrete workload types;
@@ -65,8 +93,9 @@ class Workload {
   /// Golden check: runs the same kernel end-to-end uninstrumented and
   /// verifies its output against an independent oracle (a bit-exact
   /// compression round trip, a reference implementation of the kernel).  A
-  /// workload whose kernel is broken must not feed the exploration.
-  [[nodiscard]] virtual bool verify(const WorkloadOptions& options = {}) const = 0;
+  /// workload whose kernel is broken must not feed the exploration; the
+  /// report says which stage broke so drivers can log it and move on.
+  [[nodiscard]] virtual VerifyReport verify(const WorkloadOptions& options = {}) const = 0;
 
   /// The variant the physical-memory sweeps run on, after the workload's
   /// system-level decisions (structuring, hierarchy) are applied to the

@@ -39,13 +39,62 @@ TEST(Bitstream, BitCountTracked) {
   EXPECT_EQ(writer.bits_written(), 22u);
 }
 
-TEST(Bitstream, ReadPastEndThrows) {
+TEST(Bitstream, ReadPastEndLatchesOverrunAndReturnsZeros) {
+  // Exhaustion is a *data* condition: the reader soft-fails (zeros + latched
+  // overrun flag) instead of throwing, so decode loops over truncated
+  // streams finish their bounded work and report a clean Status.
   BitWriter writer;
   writer.put(1, 1);
   const auto words = writer.finish();
   BitReader reader(words);
+  EXPECT_EQ(reader.bits_left(), 16u);
   (void)reader.get(16);
-  EXPECT_THROW((void)reader.get(1), support::ContractError);
+  EXPECT_FALSE(reader.overrun());
+  EXPECT_EQ(reader.get(1), 0u);
+  EXPECT_TRUE(reader.overrun());
+  // The latch is sticky and every further read keeps yielding zeros.
+  EXPECT_EQ(reader.get(32), 0u);
+  EXPECT_TRUE(reader.overrun());
+  EXPECT_EQ(reader.bits_left(), 0u);
+  EXPECT_EQ(reader.bits_read(), 16u);
+}
+
+TEST(Bitstream, PartiallySatisfiableReadConsumesNothing) {
+  // A read wider than the bits left trips the overrun latch without
+  // consuming the remainder — bits_read() stays at the stream end.
+  BitWriter writer;
+  writer.put(0xBEEF, 16);
+  const auto words = writer.finish();
+  BitReader reader(words);
+  (void)reader.get(10);
+  EXPECT_EQ(reader.get(10), 0u);  // only 6 bits left
+  EXPECT_TRUE(reader.overrun());
+  EXPECT_EQ(reader.bits_read(), 16u);
+}
+
+TEST(Bitstream, WidthRoundTripEveryWriterWidth) {
+  // The writer/reader width asymmetry (put <= 24, get <= 32) is deliberate;
+  // this pins the invariant: every width a single put can carry round-trips
+  // exactly, including when the field straddles word boundaries.
+  for (int width = 1; width <= 24; ++width) {
+    const auto value = static_cast<std::uint32_t>(
+        0xA5A5'A5A5u & (width == 32 ? ~0u : (1u << width) - 1u));
+    for (int prefix = 0; prefix <= 15; ++prefix) {
+      BitWriter writer;
+      if (prefix > 0) writer.put((1u << prefix) - 1u, prefix);
+      writer.put(value, width);
+      const auto words = writer.finish();
+      BitReader reader(words);
+      if (prefix > 0) {
+        ASSERT_EQ(reader.get(prefix), (1u << prefix) - 1u);
+      }
+      ASSERT_EQ(reader.get(width), value) << "width " << width << " prefix " << prefix;
+      ASSERT_FALSE(reader.overrun());
+    }
+  }
+  // Widths beyond the writer's limit are rejected, not silently truncated.
+  BitWriter writer;
+  EXPECT_THROW(writer.put(0, 25), support::ContractError);
 }
 
 TEST(Bitstream, RejectsOversizedValues) {
@@ -425,6 +474,91 @@ TEST(Codec, SerializeRoundTrip) {
 
 TEST(Codec, DeserializeRejectsGarbage) {
   EXPECT_THROW((void)deserialize({1, 2, 3}), support::ContractError);
+}
+
+TEST(Codec, TryDecodeRejectsHostileHeaders) {
+  const auto status_of = [](const EncodedImage& encoded) {
+    Decoder decoder;
+    auto result = decoder.try_decode(encoded);
+    EXPECT_FALSE(result.ok());
+    return result.status();
+  };
+
+  EncodedImage bad_dims;
+  bad_dims.width = 0;
+  bad_dims.height = 32;
+  EXPECT_EQ(status_of(bad_dims).code(), support::StatusCode::kMalformedHeader);
+
+  EncodedImage huge;  // dims inside the per-axis cap, product above the pixel cap
+  huge.width = kMaxDecodeDim;
+  huge.height = kMaxDecodeDim;
+  EXPECT_EQ(status_of(huge).code(), support::StatusCode::kResourceLimit);
+
+  EncodedImage bad_delta;
+  bad_delta.width = 8;
+  bad_delta.height = 8;
+  bad_delta.lossy = true;
+  bad_delta.quantizer_delta = 65;
+  bad_delta.stream.assign(64, 0);
+  EXPECT_EQ(status_of(bad_delta).code(), support::StatusCode::kMalformedHeader);
+
+  EncodedImage starved;  // 64 pixels need >= 64 bits; offer 16
+  starved.width = 8;
+  starved.height = 8;
+  starved.stream.assign(1, 0);
+  const auto status = status_of(starved);
+  EXPECT_EQ(status.code(), support::StatusCode::kTruncated);
+  EXPECT_NE(status.to_string().find("truncated"), std::string::npos);
+}
+
+TEST(Codec, TryDeserializeReportsStatusInsteadOfThrowing) {
+  // Too short for the header.
+  EXPECT_EQ(try_deserialize({1, 2, 3}).status().code(),
+            support::StatusCode::kTruncated);
+
+  // Right length, wrong magic.
+  std::vector<std::uint8_t> bad_magic(14, 0);
+  bad_magic[0] = 'X';
+  EXPECT_EQ(try_deserialize(bad_magic).status().code(),
+            support::StatusCode::kMalformedHeader);
+
+  // A real container with the tail chopped: declared word count no longer
+  // matches the bytes present.
+  const auto image =
+      support::make_synthetic_image(32, 32, support::SyntheticKind::kCompound, 5);
+  Encoder encoder(32, 32);
+  auto bytes = serialize(encoder.encode(image, {}));
+  bytes.resize(bytes.size() - 2);
+  EXPECT_EQ(try_deserialize(bytes).status().code(), support::StatusCode::kTruncated);
+
+  // The untouched container still parses and decodes bit-exactly.
+  auto good = try_deserialize(serialize(encoder.encode(image, {})));
+  ASSERT_TRUE(good.ok());
+  Decoder decoder;
+  auto decoded = decoder.try_decode(good.value());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), image);
+}
+
+TEST(Codec, TruncatedStreamIsACleanErrorNeverAThrow) {
+  // Chop the entropy stream at every word boundary: each prefix must decode
+  // to either a clean Status or a bounded image — never an exception.
+  const auto image =
+      support::make_synthetic_image(24, 24, support::SyntheticKind::kEdges, 9);
+  Encoder encoder(24, 24);
+  const auto encoded = encoder.encode(image, {});
+  Decoder decoder;
+  for (std::size_t words = 0; words < encoded.stream.size(); ++words) {
+    EncodedImage cut = encoded;
+    cut.stream.resize(words);
+    auto result = decoder.try_decode(cut);
+    if (result.ok()) {
+      EXPECT_EQ(result.value().width(), image.width());
+      EXPECT_EQ(result.value().height(), image.height());
+    } else {
+      EXPECT_NE(result.status().code(), support::StatusCode::kOk);
+    }
+  }
 }
 
 TEST(Codec, MismatchedGeometryThrows) {

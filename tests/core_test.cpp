@@ -5,6 +5,7 @@
 #include "core/btpc_case_study.hpp"
 #include "core/explorer.hpp"
 #include "structuring/structuring.hpp"
+#include "support/cancellation.hpp"
 #include "support/check.hpp"
 
 namespace dtse::core {
@@ -107,6 +108,58 @@ TEST(Explorer, StorageBudgetCannotExceedRealTime) {
   options.storage_budget_cycles = options.real_time_budget_cycles + 1;
   EXPECT_THROW((void)explorer.evaluate(small_profile(), options),
                support::ContractError);
+}
+
+TEST(Explorer, SweepSurvivesAThrowingPointAndReportsIt) {
+  // Graceful degradation: a sweep point whose evaluation throws (here the
+  // budget contract, a deterministic trigger) comes back as a reported
+  // error row; the healthy points are unaffected and the sweep completes.
+  const auto explorer = make_explorer();
+  ExplorerOptions options;
+  const std::vector<std::uint64_t> budgets = {
+      options.real_time_budget_cycles, options.real_time_budget_cycles + 1,
+      options.real_time_budget_cycles * 3 / 4};
+  const auto points = explorer.explore_cycle_budgets(small_profile(), budgets, options);
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_TRUE(points[0].eval.error.empty());
+  EXPECT_TRUE(points[0].eval.feasible);
+  EXPECT_FALSE(points[1].eval.error.empty());
+  EXPECT_FALSE(points[1].eval.feasible);
+  EXPECT_NE(points[1].eval.to_string().find("[ERROR]"), std::string::npos);
+  EXPECT_TRUE(points[2].eval.error.empty());
+  EXPECT_TRUE(points[2].eval.feasible);
+}
+
+TEST(Explorer, PreCancelledSweepCompletesWithTimedOutPoints) {
+  // A cancelled/expired budget must degrade, not abort: every point still
+  // gets a row, flagged timed_out, with the solvers' best-effort answer.
+  const auto explorer = make_explorer();
+  support::CancellationToken cancelled;
+  cancelled.cancel();
+  ExplorerOptions options;
+  options.cancel = &cancelled;
+  const auto variants =
+      explorer.explore_allocation_counts(small_profile(), {5, 8}, options);
+  ASSERT_EQ(variants.size(), 2u);
+  for (const auto& variant : variants) {
+    EXPECT_TRUE(variant.eval.timed_out) << variant.label;
+    EXPECT_NE(variant.eval.to_string().find("[TIMED OUT]"), std::string::npos);
+  }
+
+  // An un-fired deadline leaves the sweep bit-identical to no budget at all.
+  ExplorerOptions roomy;
+  roomy.time_budget_ms = 3'600'000;
+  const auto with_budget =
+      explorer.explore_allocation_counts(small_profile(), {5, 8}, roomy);
+  const auto without = explorer.explore_allocation_counts(small_profile(), {5, 8});
+  ASSERT_EQ(with_budget.size(), without.size());
+  for (std::size_t i = 0; i < without.size(); ++i) {
+    EXPECT_FALSE(with_budget[i].eval.timed_out);
+    EXPECT_EQ(with_budget[i].eval.summary.onchip_area_mm2,
+              without[i].eval.summary.onchip_area_mm2);
+    EXPECT_EQ(with_budget[i].eval.summary.onchip_power_mw,
+              without[i].eval.summary.onchip_power_mw);
+  }
 }
 
 TEST(Explorer, MacpIsBelowRealTimeBudget) {

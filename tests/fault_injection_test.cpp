@@ -1,0 +1,105 @@
+// Fault-injection campaigns for the hardened decode paths: every corrupted
+// container must land in the trichotomy (bit-exact | clean Status | bounded
+// output) — a single throw/crash is a kViolation and fails the campaign.
+// This file runs under the sanitizer CI job too, so the campaigns double as
+// a fixed-cost ASan/UBSan sweep of the decode surface.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "btpc/codec.hpp"
+#include "hyperspec/codec.hpp"
+#include "support/image.hpp"
+#include "testing/fault_injection.hpp"
+
+namespace dtse::testing {
+namespace {
+
+std::vector<std::uint8_t> golden_btpc(int edge, int delta) {
+  const auto image = support::make_synthetic_image(
+      edge, edge, support::SyntheticKind::kCompound, 4242);
+  btpc::Encoder encoder(edge, edge);
+  btpc::CodecOptions options;
+  options.lossy = delta > 1;
+  options.quantizer_delta = delta;
+  return btpc::serialize(encoder.encode(image, options));
+}
+
+std::vector<std::uint8_t> golden_hyperspec(hyperspec::CubeShape shape, int unary) {
+  hyperspec::Encoder encoder(shape);
+  hyperspec::HsCodecOptions options;
+  options.unary_limit = unary;
+  return hyperspec::serialize(
+      encoder.encode(hyperspec::make_synthetic_cube(shape, 31), options));
+}
+
+TEST(Mutators, AreDeterministicAndNeverIdentity) {
+  const auto bytes = golden_btpc(24, 1);
+  for (const auto kind :
+       {MutationKind::kBitFlip, MutationKind::kMultiBitFlip, MutationKind::kTruncate,
+        MutationKind::kHeaderFuzz, MutationKind::kSplice, MutationKind::kRandom}) {
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      const auto a = mutate(bytes, kind, seed, 14);
+      const auto b = mutate(bytes, kind, seed, 14);
+      EXPECT_EQ(a, b) << to_string(kind) << " seed " << seed;
+      EXPECT_NE(a, bytes) << to_string(kind) << " seed " << seed;
+    }
+  }
+  // Header fuzz stays within the header region.
+  const auto fuzzed = mutate(bytes, MutationKind::kHeaderFuzz, 3, 14);
+  ASSERT_EQ(fuzzed.size(), bytes.size());
+  for (std::size_t i = 14; i < bytes.size(); ++i) {
+    ASSERT_EQ(fuzzed[i], bytes[i]) << "payload byte " << i << " changed";
+  }
+}
+
+TEST(FaultInjection, BtpcLosslessCampaignHoldsTheTrichotomy) {
+  const auto report = run_campaign(probe_btpc, golden_btpc(48, 1), 14, 1, 1000);
+  EXPECT_TRUE(report.passed()) << report.summary();
+  // The battery must actually exercise both interesting arms: corruption
+  // that is caught (clean errors) and corruption that slips past the
+  // tripwires into a bounded decode.
+  EXPECT_GT(report.probes, 1000u);
+  EXPECT_GT(report.clean_errors, 0u);
+  EXPECT_GT(report.bounded_outputs, 0u);
+}
+
+TEST(FaultInjection, BtpcLossyCampaignHoldsTheTrichotomy) {
+  const auto report = run_campaign(probe_btpc, golden_btpc(32, 4), 14, 2, 1000);
+  EXPECT_TRUE(report.passed()) << report.summary();
+}
+
+TEST(FaultInjection, HyperspecCampaignHoldsTheTrichotomy) {
+  const auto report = run_campaign(
+      probe_hyperspec, golden_hyperspec({4, 12, 12}, 16), 18, 3, 1000);
+  EXPECT_TRUE(report.passed()) << report.summary();
+  EXPECT_GT(report.probes, 1000u);
+  EXPECT_GT(report.clean_errors, 0u);
+}
+
+TEST(FaultInjection, HyperspecNarrowUnaryCampaignHoldsTheTrichotomy) {
+  const auto report = run_campaign(
+      probe_hyperspec, golden_hyperspec({8, 8, 16}, 8), 18, 4, 1000);
+  EXPECT_TRUE(report.passed()) << report.summary();
+}
+
+TEST(FaultInjection, PristineContainersProbeBitExact) {
+  const auto btpc_bytes = golden_btpc(24, 1);
+  EXPECT_EQ(probe_btpc(btpc_bytes, btpc_bytes), DecodeOutcome::kBitExact);
+  const auto hs_bytes = golden_hyperspec({2, 6, 6}, 16);
+  EXPECT_EQ(probe_hyperspec(hs_bytes, hs_bytes), DecodeOutcome::kBitExact);
+}
+
+TEST(FaultInjection, CampaignIsDeterministic) {
+  const auto pristine = golden_hyperspec({2, 6, 6}, 16);
+  const auto a = run_campaign(probe_hyperspec, pristine, 18, 7, 100);
+  const auto b = run_campaign(probe_hyperspec, pristine, 18, 7, 100);
+  EXPECT_EQ(a.probes, b.probes);
+  EXPECT_EQ(a.bit_exact, b.bit_exact);
+  EXPECT_EQ(a.clean_errors, b.clean_errors);
+  EXPECT_EQ(a.bounded_outputs, b.bounded_outputs);
+}
+
+}  // namespace
+}  // namespace dtse::testing

@@ -79,6 +79,84 @@ TEST(HyperspecCodec, SampleExceedingDynamicRangeIsRejected) {
   EXPECT_THROW((void)encoder.encode(cube, {}), support::ContractError);
 }
 
+TEST(HyperspecCodec, SerializeRoundTripsThroughTheContainer) {
+  const CubeShape shape{4, 12, 12};
+  const auto cube = make_synthetic_cube(shape, 7);
+  Encoder encoder(shape);
+  HsCodecOptions options;
+  options.unary_limit = 8;
+  const auto encoded = encoder.encode(cube, options);
+  auto restored = try_deserialize(serialize(encoded));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().shape.bands, shape.bands);
+  EXPECT_EQ(restored.value().shape.height, shape.height);
+  EXPECT_EQ(restored.value().shape.width, shape.width);
+  EXPECT_EQ(restored.value().unary_limit, 8);
+  EXPECT_EQ(restored.value().stream, encoded.stream);
+  Decoder decoder;
+  auto decoded = decoder.try_decode(restored.value());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), cube);
+}
+
+TEST(HyperspecCodec, TryDeserializeReportsStatusInsteadOfThrowing) {
+  EXPECT_EQ(try_deserialize({}).status().code(), support::StatusCode::kTruncated);
+
+  std::vector<std::uint8_t> bad_magic(18, 0);
+  EXPECT_EQ(try_deserialize(bad_magic).status().code(),
+            support::StatusCode::kMalformedHeader);
+
+  const CubeShape shape{2, 6, 6};
+  Encoder encoder(shape);
+  auto bytes = serialize(encoder.encode(make_synthetic_cube(shape, 3), {}));
+  bytes.pop_back();  // word count no longer matches the bytes present
+  EXPECT_EQ(try_deserialize(bytes).status().code(), support::StatusCode::kTruncated);
+}
+
+TEST(HyperspecCodec, TryDecodeRejectsHostileHeaders) {
+  const auto status_of = [](const EncodedCube& encoded) {
+    Decoder decoder;
+    auto result = decoder.try_decode(encoded);
+    EXPECT_FALSE(result.ok());
+    return result.status();
+  };
+
+  EncodedCube bad_shape;  // default CubeShape is invalid
+  EXPECT_EQ(status_of(bad_shape).code(), support::StatusCode::kMalformedHeader);
+
+  EncodedCube huge;
+  huge.shape = CubeShape{kMaxDecodeBands, kMaxDecodeEdge, kMaxDecodeEdge};
+  EXPECT_EQ(status_of(huge).code(), support::StatusCode::kResourceLimit);
+
+  EncodedCube bad_unary;
+  bad_unary.shape = CubeShape{1, 4, 4};
+  bad_unary.unary_limit = 0;
+  bad_unary.stream.assign(16, 0);
+  EXPECT_EQ(status_of(bad_unary).code(), support::StatusCode::kMalformedHeader);
+
+  EncodedCube starved;  // 64 samples need >= 64 bits; offer 16
+  starved.shape = CubeShape{4, 4, 4};
+  starved.stream.assign(1, 0);
+  EXPECT_EQ(status_of(starved).code(), support::StatusCode::kTruncated);
+}
+
+TEST(HyperspecCodec, TruncatedStreamIsACleanErrorNeverAThrow) {
+  const CubeShape shape{3, 10, 10};
+  Encoder encoder(shape);
+  const auto encoded = encoder.encode(make_synthetic_cube(shape, 11), {});
+  Decoder decoder;
+  for (std::size_t words = 0; words < encoded.stream.size(); ++words) {
+    EncodedCube cut = encoded;
+    cut.stream.resize(words);
+    auto result = decoder.try_decode(cut);
+    if (result.ok()) {
+      EXPECT_EQ(result.value().shape(), shape);  // bounded, well-shaped output
+    } else {
+      EXPECT_NE(result.status().code(), support::StatusCode::kOk);
+    }
+  }
+}
+
 TEST(HyperspecCodec, SyntheticCubeIsBandCorrelated) {
   const CubeShape shape{6, 32, 32};
   const auto cube = make_synthetic_cube(shape, 42);

@@ -1,15 +1,21 @@
-// Unit tests for the support module: contracts, ids, PRNG, images, tables.
+// Unit tests for the support module: contracts, ids, PRNG, images, tables,
+// status/result values, cancellation tokens and the parallel loop.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 
 #include <cstdio>
 #include <filesystem>
 #include <set>
+#include <stdexcept>
 
+#include "support/cancellation.hpp"
 #include "support/check.hpp"
 #include "support/image.hpp"
+#include "support/parallel.hpp"
 #include "support/rng.hpp"
+#include "support/status.hpp"
 #include "support/strong_id.hpp"
 #include "support/table.hpp"
 
@@ -247,6 +253,108 @@ TEST(Table, NumFormatsDecimals) {
   EXPECT_EQ(Table::num(1.234, 1), "1.2");
   EXPECT_EQ(Table::num(1.278, 2), "1.28");
   EXPECT_EQ(Table::num(5, 0), "5");
+}
+
+TEST(Status, DefaultIsOk) {
+  const Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.to_string(), "ok");
+}
+
+TEST(Status, ErrorCarriesCodeMessageAndOffset) {
+  const auto status = Status::error(StatusCode::kTruncated, "stream cut short", 1234);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kTruncated);
+  EXPECT_EQ(status.message(), "stream cut short");
+  EXPECT_EQ(status.offset_bits(), 1234u);
+  EXPECT_EQ(status.to_string(), "truncated @bit 1234: stream cut short");
+
+  const auto no_offset = Status::error(StatusCode::kCorrupt, "bad value");
+  EXPECT_EQ(no_offset.offset_bits(), Status::kNoOffset);
+  EXPECT_EQ(no_offset.to_string(), "corrupt: bad value");
+
+  EXPECT_THROW((void)Status::error(StatusCode::kOk, "not an error"), ContractError);
+}
+
+TEST(Result, ValueAndStatusArms) {
+  Result<int> good(42);
+  EXPECT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 42);
+  EXPECT_EQ(good.take(), 42);
+
+  Result<int> bad(Status::error(StatusCode::kMalformedHeader, "nope"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kMalformedHeader);
+  EXPECT_THROW((void)bad.value(), ContractError);
+  EXPECT_THROW((void)bad.take(), ContractError);
+
+  // Building a Result from an OK status is a caller bug.
+  EXPECT_THROW((void)Result<int>(Status{}), ContractError);
+}
+
+TEST(Cancellation, FlagDeadlineAndParentChain) {
+  CancellationToken token;
+  EXPECT_FALSE(token.cancelled());
+  token.cancel();
+  EXPECT_TRUE(token.cancelled());
+
+  CancellationToken immediate;
+  immediate.set_deadline_after_ms(0);
+  EXPECT_TRUE(immediate.cancelled());
+
+  CancellationToken far_out;
+  far_out.set_deadline_after_ms(60'000);
+  EXPECT_FALSE(far_out.cancelled());
+
+  // A child observes its parent's cancellation, but not vice versa.
+  CancellationToken parent;
+  CancellationToken child(&parent);
+  EXPECT_FALSE(child.cancelled());
+  parent.cancel();
+  EXPECT_TRUE(child.cancelled());
+  EXPECT_TRUE(parent.cancelled());
+
+  CancellationToken quiet_parent;
+  CancellationToken loud_child(&quiet_parent);
+  loud_child.cancel();
+  EXPECT_TRUE(loud_child.cancelled());
+  EXPECT_FALSE(quiet_parent.cancelled());
+}
+
+TEST(Parallel, CollectDrainsAllIndicesAndReportsEveryFailure) {
+  std::atomic<int> ran{0};
+  const auto errors = parallel_for_collect(16, 4, [&](std::size_t i) {
+    ran.fetch_add(1);
+    if (i % 5 == 0) throw std::runtime_error("worker " + std::to_string(i));
+  });
+  // Every index ran despite failures, and the failures come back sorted.
+  EXPECT_EQ(ran.load(), 16);
+  ASSERT_EQ(errors.size(), 4u);  // indices 0, 5, 10, 15
+  std::size_t prev = 0;
+  for (std::size_t k = 0; k < errors.size(); ++k) {
+    EXPECT_EQ(errors[k].first, k * 5);
+    EXPECT_GE(errors[k].first, prev);
+    prev = errors[k].first;
+    EXPECT_NE(errors[k].second, nullptr);
+  }
+}
+
+TEST(Parallel, ForRethrowsTheSmallestFailingIndex) {
+  // Deterministic propagation: whatever the scheduling, the exception a
+  // caller sees is the one a serial loop would have hit first.
+  for (int trial = 0; trial < 8; ++trial) {
+    try {
+      parallel_for(32, 8, [&](std::size_t i) {
+        if (i == 7 || i == 23) {
+          throw std::runtime_error("index " + std::to_string(i));
+        }
+      });
+      FAIL() << "parallel_for must propagate the failure";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "index 7");
+    }
+  }
 }
 
 }  // namespace

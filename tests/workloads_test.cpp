@@ -11,6 +11,7 @@
 #include "workloads/hyperspec_workload.hpp"
 #include "workloads/line_buffer_workload.hpp"
 #include "workloads/motion_workload.hpp"
+#include "workloads/shared_sweep.hpp"
 #include "workloads/workload.hpp"
 
 namespace dtse::workloads {
@@ -54,7 +55,8 @@ TEST(Registry, EveryWorkloadProfilesAllocatesExplores) {
   for (const auto name : workload_names()) {
     const auto* workload = find_workload(name);
     ASSERT_NE(workload, nullptr);
-    EXPECT_TRUE(workload->verify(small_options())) << name << ": golden check failed";
+    const auto golden = workload->verify(small_options());
+    EXPECT_TRUE(golden.passed) << name << ": " << golden.to_string();
 
     const auto profiled = workload->profile(small_options());
     EXPECT_NO_THROW(profiled.validate()) << name;
@@ -121,7 +123,7 @@ TEST(Workloads, BtpcCodecKnobsAreTraversalInvariant) {
 TEST(Registry, LineBufferRoundTrip) {
   const auto* registered = find_workload("line_buffer");
   ASSERT_NE(registered, nullptr);
-  EXPECT_TRUE(registered->verify(small_options()));
+  EXPECT_TRUE(registered->verify(small_options()).passed);
   const auto via_registry = registered->profile(small_options());
   const auto direct = LineBufferWorkload{}.profile(small_options());
   EXPECT_EQ(via_registry.to_string(), direct.to_string());
@@ -137,7 +139,7 @@ TEST(Registry, LineBufferRoundTrip) {
 TEST(Registry, MotionRoundTrip) {
   const auto* registered = find_workload("motion");
   ASSERT_NE(registered, nullptr);
-  EXPECT_TRUE(registered->verify(small_options()));
+  EXPECT_TRUE(registered->verify(small_options()).passed);
   const auto via_registry = registered->profile(small_options());
   const auto direct = MotionWorkload{}.profile(small_options());
   EXPECT_EQ(via_registry.to_string(), direct.to_string());
@@ -301,6 +303,89 @@ TEST(MultiWorkload, PerWorkloadBreakdownReconcilesBitExactly) {
       EXPECT_GE(curr.offchip_power_mw, prev.offchip_power_mw);
     }
   }
+}
+
+TEST(VerifyReport, CarriesStageAndDetail) {
+  const auto ok = VerifyReport::pass();
+  EXPECT_TRUE(ok.passed);
+  EXPECT_TRUE(static_cast<bool>(ok));
+  EXPECT_EQ(ok.to_string(), "ok");
+
+  const auto bad = VerifyReport::fail("round-trip", "pixel 7 differs");
+  EXPECT_FALSE(bad.passed);
+  EXPECT_FALSE(static_cast<bool>(bad));
+  EXPECT_EQ(bad.stage, "round-trip");
+  EXPECT_EQ(bad.to_string(), "failed at round-trip: pixel 7 differs");
+}
+
+// Degradation doubles for the shared sweep: one workload whose golden check
+// fails, one whose profiling throws.  Neither may take the sweep down.
+class FailingVerifyWorkload final : public Workload {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "failing-verify"; }
+  [[nodiscard]] std::string_view description() const override { return "test double"; }
+  [[nodiscard]] ir::Application profile(const WorkloadOptions&) const override {
+    return ir::Application("never-profiled");
+  }
+  [[nodiscard]] VerifyReport verify(const WorkloadOptions&) const override {
+    return VerifyReport::fail("round-trip", "deliberately broken kernel");
+  }
+};
+
+class ThrowingProfileWorkload final : public Workload {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "throwing-profile"; }
+  [[nodiscard]] std::string_view description() const override { return "test double"; }
+  [[nodiscard]] ir::Application profile(const WorkloadOptions&) const override {
+    DTSE_CHECK(false, "profiling explodes");
+    return ir::Application("unreachable");
+  }
+  [[nodiscard]] VerifyReport verify(const WorkloadOptions&) const override {
+    return VerifyReport::pass();
+  }
+};
+
+TEST(SharedSweep, OnePoisonedWorkloadDoesNotAbortTheSweep) {
+  const auto explorer = make_explorer();
+  const FailingVerifyWorkload failing;
+  const ThrowingProfileWorkload throwing;
+  const std::vector<const Workload*> roster = {
+      find_workload("hyperspec"), &failing, &throwing, find_workload("line_buffer"),
+      nullptr};
+
+  const auto result =
+      run_shared_sweep(roster, small_options(), explorer, {6, 10});
+
+  ASSERT_EQ(result.survivors.size(), 2u);
+  EXPECT_EQ(result.survivors[0], "hyperspec");
+  EXPECT_EQ(result.survivors[1], "line_buffer");
+  ASSERT_EQ(result.failures.size(), 3u);
+  EXPECT_FALSE(result.complete());
+  EXPECT_EQ(result.failures[0].name, "failing-verify");
+  EXPECT_EQ(result.failures[0].stage, "verify");
+  EXPECT_NE(result.failures[0].detail.find("deliberately broken"), std::string::npos);
+  EXPECT_EQ(result.failures[1].name, "throwing-profile");
+  EXPECT_EQ(result.failures[1].stage, "profile");
+  EXPECT_NE(result.failures[1].detail.find("profiling explodes"), std::string::npos);
+  EXPECT_EQ(result.failures[2].stage, "lookup");
+
+  // The sweep over the survivors still completed and is usable.
+  ASSERT_EQ(result.variants.size(), 2u);
+  bool any_feasible = false;
+  for (const auto& variant : result.variants) any_feasible |= variant.eval.feasible;
+  EXPECT_TRUE(any_feasible);
+
+  // A healthy roster reports complete() with no failures.
+  const auto healthy = run_shared_sweep({find_workload("hyperspec")}, small_options(),
+                                        explorer, {8});
+  EXPECT_TRUE(healthy.complete());
+  ASSERT_EQ(healthy.survivors.size(), 1u);
+
+  // All-poisoned rosters are the only fatal case.
+  EXPECT_THROW((void)run_shared_sweep({&failing}, small_options(), explorer, {8}),
+               support::ContractError);
+  EXPECT_THROW((void)run_shared_sweep({}, small_options(), explorer, {8}),
+               support::ContractError);
 }
 
 }  // namespace
