@@ -7,10 +7,11 @@
 
 #include "alloc/assignment_problem.hpp"
 #include "alloc/solvers.hpp"
-#include "btpc/adaptive_huffman.hpp"
 #include "btpc/bitstream.hpp"
 #include "btpc/codec.hpp"
 #include "core/btpc_case_study.hpp"
+#include "entropy/adaptive_huffman.hpp"
+#include "entropy/entropy_coder.hpp"
 #include "core/explorer.hpp"
 #include "graph/conflict_graph.hpp"
 #include "hyperspec/codec.hpp"
@@ -342,24 +343,65 @@ BENCHMARK(BM_BitReaderThroughput);
 // Rate estimation: code_length over the whole alphabet, served from the
 // cached table (one lazy tree sweep per model change).
 void BM_HuffmanCodeLength(benchmark::State& state) {
-  btpc::AdaptiveHuffmanBank bank;
+  entropy::AdaptiveHuffmanBank bank;
   btpc::BitWriter writer;
   for (int i = 0; i < 5000; ++i) {
-    bank.encode(i % btpc::AdaptiveHuffmanBank::kCoders, (i * 7) % 64, writer);
+    bank.encode(i % entropy::AdaptiveHuffmanBank::kCoders, (i * 7) % 64, writer);
   }
   for (auto _ : state) {
     int total = 0;
-    for (int coder = 0; coder < btpc::AdaptiveHuffmanBank::kCoders; ++coder) {
-      for (int symbol = 0; symbol < btpc::AdaptiveHuffmanBank::kSymbols; ++symbol) {
+    for (int coder = 0; coder < entropy::AdaptiveHuffmanBank::kCoders; ++coder) {
+      for (int symbol = 0; symbol < entropy::AdaptiveHuffmanBank::kSymbols; ++symbol) {
         total += bank.code_length(coder, symbol);
       }
     }
     benchmark::DoNotOptimize(total);
   }
-  state.SetItemsProcessed(state.iterations() * btpc::AdaptiveHuffmanBank::kCoders *
-                          btpc::AdaptiveHuffmanBank::kSymbols);
+  state.SetItemsProcessed(state.iterations() * entropy::AdaptiveHuffmanBank::kCoders *
+                          entropy::AdaptiveHuffmanBank::kSymbols);
 }
 BENCHMARK(BM_HuffmanCodeLength);
+
+// --- entropy roster ----------------------------------------------------------
+
+// One batch encode + decode round trip per backend over the same mixed
+// residual corpus (mostly small values, a sprinkle of escapes), so the four
+// coders are directly comparable at identical input statistics.
+void entropy_batch_roundtrip(benchmark::State& state, entropy::Backend backend) {
+  support::Rng rng(11);
+  std::vector<std::uint32_t> values(4096);
+  for (auto& v : values) {
+    v = static_cast<std::uint32_t>(rng.below(16) == 0 ? 200 + rng.below(3800)
+                                                      : rng.below(48));
+  }
+  entropy::CoderOptions options;
+  for (auto _ : state) {
+    const auto batch = entropy::encode_batch(backend, values, options);
+    auto decoded = entropy::try_decode_batch(batch);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(values.size()));
+}
+
+void BM_EntropyHuffman(benchmark::State& state) {
+  entropy_batch_roundtrip(state, entropy::Backend::kHuffman);
+}
+BENCHMARK(BM_EntropyHuffman);
+
+void BM_EntropyRice(benchmark::State& state) {
+  entropy_batch_roundtrip(state, entropy::Backend::kRice);
+}
+BENCHMARK(BM_EntropyRice);
+
+void BM_EntropyExpGolomb(benchmark::State& state) {
+  entropy_batch_roundtrip(state, entropy::Backend::kExpGolomb);
+}
+BENCHMARK(BM_EntropyExpGolomb);
+
+void BM_EntropyRans(benchmark::State& state) {
+  entropy_batch_roundtrip(state, entropy::Backend::kRans);
+}
+BENCHMARK(BM_EntropyRans);
 
 // --- conflict graph ----------------------------------------------------------
 

@@ -21,6 +21,7 @@
 
 #include "core/explorer.hpp"
 #include "core/pareto.hpp"
+#include "entropy/entropy_coder.hpp"
 #include "support/table.hpp"
 #include "workloads/workload.hpp"
 
@@ -187,6 +188,54 @@ int run(int argc, char** argv) {
               << dtse::core::pareto_report(allocations) << '\n';
 
     tuned.emplace_back(std::string(workload->name()), best);
+  }
+
+  // Entropy-coder roster sweep: re-profile the codec workloads with each
+  // alternative backend.  Swapping the coder swaps the on-chip state arrays
+  // the model prices (Huffman tree bank vs Rice accumulators vs rANS
+  // tables), so every backend is a distinct tuned point — and joins the
+  // shared sweep below on equal footing with the defaults.
+  struct BackendSweep {
+    const char* workload;
+    std::vector<dtse::entropy::Backend> backends;
+  };
+  const std::vector<BackendSweep> roster = {
+      {"btpc", {dtse::entropy::Backend::kRice, dtse::entropy::Backend::kExpGolomb}},
+      {"hyperspec",
+       {dtse::entropy::Backend::kExpGolomb, dtse::entropy::Backend::kRans}},
+  };
+  for (const auto& sweep : roster) {
+    const auto* workload = dtse::workloads::find_workload(sweep.workload);
+    const bool in_run = std::any_of(
+        tuned.begin(), tuned.end(),
+        [&](const auto& entry) { return entry.first == sweep.workload; });
+    if (workload == nullptr || !in_run) continue;
+
+    std::cout << "==== Entropy-coder roster for '" << sweep.workload << "' ====\n";
+    auto roster_table = cost_table("Backend variant");
+    for (const auto backend : sweep.backends) {
+      auto variant_options = workload_options;
+      variant_options.entropy_backend = backend;
+      const std::string label =
+          std::string(sweep.workload) + "[" + std::string(to_string(backend)) + "]";
+
+      const auto golden = workload->verify(variant_options);
+      if (!golden.passed) {
+        all_golden = false;
+        std::cout << label << ": broken kernel (" << golden.to_string() << ")\n";
+        continue;
+      }
+      try {
+        const auto best = workload->tuned_variant(workload->profile(variant_options));
+        const auto eval = explorer.evaluate(best, options);
+        add_cost_row(roster_table, label, eval.summary, eval.feasible);
+        tuned.emplace_back(label, best);
+      } catch (const std::exception& e) {
+        all_golden = false;
+        std::cout << label << ": profiling failed: " << e.what() << '\n';
+      }
+    }
+    std::cout << roster_table.to_string() << '\n';
   }
 
   if (tuned.size() > 1) {

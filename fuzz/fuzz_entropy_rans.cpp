@@ -1,0 +1,42 @@
+// libFuzzer target for the rANS batch decode path.
+//
+// Parses the untrusted bytes as an "ENT1" container, keeps only streams the
+// header routes to the rANS backend, and runs the hardened batch decode —
+// frequency-table checksum, state-interval check, bounded renormalization
+// and the width tripwire all sit on this path.  On a successful decode the
+// harness re-encodes the decoded values and decodes them again; the decode
+// tripwires guarantee every surviving value fits the declared width, so the
+// re-encode must round-trip bit-exactly.
+//
+// Built with clang this is a real libFuzzer binary (-fsanitize=fuzzer).
+// With DTSE_FUZZ_STANDALONE (the gcc fallback) it becomes a file-driven
+// replayer: `fuzz_entropy_rans corpus/*` runs every file once.
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "entropy/entropy_coder.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::vector<std::uint8_t> bytes(data, data + size);
+  auto batch = dtse::entropy::try_deserialize(bytes);
+  if (!batch.ok()) return 0;
+  if (batch.value().backend != dtse::entropy::Backend::kRans) return 0;
+  auto decoded = dtse::entropy::try_decode_batch(batch.value());
+  if (!decoded.ok()) return 0;
+
+  dtse::entropy::CoderOptions options;
+  options.value_bits = batch.value().value_bits;
+  options.unary_limit = batch.value().unary_limit;
+  options.rescale_limit = batch.value().rescale_limit;
+  const auto reencoded = dtse::entropy::encode_batch(dtse::entropy::Backend::kRans,
+                                                     decoded.value(), options);
+  auto redecoded = dtse::entropy::try_decode_batch(reencoded);
+  if (!redecoded.ok() || redecoded.value() != decoded.value()) std::abort();
+  return 0;
+}
+
+#ifdef DTSE_FUZZ_STANDALONE
+#include "standalone_driver.inc"
+#endif

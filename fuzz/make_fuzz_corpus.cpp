@@ -16,8 +16,10 @@
 #include <vector>
 
 #include "btpc/codec.hpp"
+#include "entropy/entropy_coder.hpp"
 #include "hyperspec/codec.hpp"
 #include "support/image.hpp"
+#include "support/rng.hpp"
 #include "testing/fault_injection.hpp"
 
 namespace {
@@ -58,8 +60,12 @@ int main(int argc, char** argv) {
   const std::filesystem::path out(argv[1]);
   const auto btpc_dir = out / "btpc";
   const auto hs_dir = out / "hyperspec";
+  const auto eg_dir = out / "entropy_expgolomb";
+  const auto rans_dir = out / "entropy_rans";
   std::filesystem::create_directories(btpc_dir);
   std::filesystem::create_directories(hs_dir);
+  std::filesystem::create_directories(eg_dir);
+  std::filesystem::create_directories(rans_dir);
 
   using dtse::support::SyntheticKind;
   // BTPC: both traversals hit the same stream; vary content, size, lossiness.
@@ -89,6 +95,29 @@ int main(int argc, char** argv) {
       options.unary_limit = unary;
       emit(hs_dir, "seed" + std::to_string(n++),
            dtse::hyperspec::serialize(encoder.encode(cube, options)), 18);
+    }
+  }
+
+  // Entropy batches ("ENT1"): one corpus per fuzzed backend, varying the
+  // residual statistics and the declared width so the seeds reach both the
+  // short-code fast path and the escape machinery.
+  for (const auto& [backend, dir] :
+       {std::pair{dtse::entropy::Backend::kExpGolomb, eg_dir},
+        std::pair{dtse::entropy::Backend::kRans, rans_dir}}) {
+    n = 0;
+    for (const int value_bits : {8, 12, 16}) {
+      dtse::support::Rng rng(3000u + n);
+      std::vector<std::uint32_t> values(384);
+      const std::uint32_t bound = 1u << value_bits;
+      for (auto& v : values) {
+        v = static_cast<std::uint32_t>(
+            rng.below(8) == 0 ? rng.below(bound) : rng.below(std::min(bound, 64u)));
+      }
+      dtse::entropy::CoderOptions options;
+      options.value_bits = value_bits;
+      emit(dir, "seed" + std::to_string(n++),
+           dtse::entropy::serialize(dtse::entropy::encode_batch(backend, values, options)),
+           17);
     }
   }
 

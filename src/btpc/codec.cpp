@@ -1,17 +1,36 @@
 #include "btpc/codec.hpp"
 
 #include <algorithm>
+#include <array>
 #include <string>
 
 #include "btpc/predictor.hpp"
+#include "entropy/exp_golomb.hpp"
+#include "entropy/golomb_rice.hpp"
 #include "support/check.hpp"
 
 namespace dtse::btpc {
+
+using entropy::AdaptiveHuffmanBank;
+using entropy::fold_residual;
+using entropy::unfold_residual;
 
 namespace {
 
 constexpr int kEscapeBits = 9;   ///< raw folded residual after an escape
 constexpr int kMaxSymbolBin = AdaptiveHuffmanBank::kEscape - 1;  // 62
+constexpr int kMaxFolded = 510;  ///< fold_residual of the widest residual (+-255)
+
+// Rice / Exp-Golomb backend parameters.  The folded residual fits the
+// 9-bit escape width, so Rice escapes reuse kEscapeBits raw bits; the
+// per-coder adaptation state mirrors the hyperspectral coder's defaults.
+constexpr int kResUnaryLimit = 12;
+constexpr int kResRescaleLimit = 64;
+constexpr int kResMaxK = 9;
+constexpr int kResContexts = AdaptiveHuffmanBank::kCoders;
+/// Exp-Golomb zero-run bound: a valid 9-bit folded value at order 0 has at
+/// most 9 prefix zeros; one of slack keeps the decode loop strict yet safe.
+constexpr int kResEgPrefix = 10;
 
 int clamp_sample(int v) { return std::clamp(v, 0, 255); }
 
@@ -33,6 +52,8 @@ Encoder::Encoder(int width, int height)
       pyr_("pyr", width, height),
       ridge_("ridge", width, height),
       huffman_(),
+      res_accum_("res_accum", kResContexts),
+      res_count_("res_count", kResContexts),
       esc_fifo_("esc_fifo", 512),
       coder_select_("coder_select", 8),
       pred_ctx_("pred_ctx", 16),
@@ -47,10 +68,11 @@ Encoder::Encoder(int width, int height)
 }
 
 Encoder::Encoder(trace::Recorder& recorder, int width, int height, int declared_width,
-                 int declared_height)
+                 int declared_height, const CodecOptions& options)
     : recorder_(&recorder),
       width_(width),
       height_(height),
+      profile_backend_(options.backend),
       image_(recorder, "image", width, height, 8, 0,
              static_cast<std::uint64_t>(declared_width ? declared_width : width) *
                  static_cast<std::uint64_t>(declared_height ? declared_height : height)),
@@ -60,7 +82,20 @@ Encoder::Encoder(trace::Recorder& recorder, int width, int height, int declared_
       ridge_(recorder, "ridge", width, height, 2, 0,
              static_cast<std::uint64_t>(declared_width ? declared_width : width) *
                  static_cast<std::uint64_t>(declared_height ? declared_height : height)),
-      huffman_(recorder),
+      // Only the selected backend's coder state enters the model: every
+      // registered array becomes a priced basic group, so an untouched
+      // Huffman tree (or Rice state) would distort the exploration.
+      huffman_(options.backend == entropy::Backend::kHuffman
+                   ? entropy::AdaptiveHuffmanBank(recorder)
+                   : entropy::AdaptiveHuffmanBank()),
+      res_accum_(options.backend == entropy::Backend::kHuffman
+                     ? trace::InstrumentedArray<std::uint32_t>("res_accum", kResContexts)
+                     : trace::InstrumentedArray<std::uint32_t>(recorder, "res_accum",
+                                                               kResContexts, 15)),
+      res_count_(options.backend == entropy::Backend::kHuffman
+                     ? trace::InstrumentedArray<std::uint16_t>("res_count", kResContexts)
+                     : trace::InstrumentedArray<std::uint16_t>(recorder, "res_count",
+                                                               kResContexts, 7)),
       esc_fifo_(recorder, "esc_fifo", 512, 9),
       coder_select_(recorder, "coder_select", 8, 3),
       pred_ctx_(recorder, "pred_ctx", 16, 4),
@@ -72,6 +107,8 @@ Encoder::Encoder(trace::Recorder& recorder, int width, int height, int declared_
       bit_accum_(recorder, "bit_accum", 4, 20),
       base_buf_(recorder, "base_buf", 16, 8) {
   DTSE_CHECK(width > 0 && height > 0, "frame dimensions must be positive");
+  DTSE_CHECK(options.backend != entropy::Backend::kRans,
+             "the BTPC stream does not support the rANS backend");
   // The image array is the prime data-reuse candidate (Section 4.4); the
   // windows bracket the paper's 12-register ylocal and 5K yhier layers.
   // Small windows are geometry-independent; row-buffer-sized windows scale
@@ -110,6 +147,11 @@ void Encoder::init_tables(const CodecOptions& options) {
     pred_ctx_.write(static_cast<std::size_t>(i), static_cast<std::uint8_t>(i));
   }
   for (std::size_t i = 0; i < stats_hist_.size(); ++i) stats_hist_.write(i, 0);
+  for (int c = 0; c < kResContexts; ++c) {
+    res_accum_.write(static_cast<std::size_t>(c),
+                     entropy::kRiceInitCount * entropy::kRiceInitMean);
+    res_count_.write(static_cast<std::size_t>(c), entropy::kRiceInitCount);
+  }
   huffman_.reset();
   escape_values_.clear();
   esc_head_ = 0;
@@ -176,8 +218,8 @@ void Encoder::predict_pass(const LevelSpec& level, const CodecOptions& options,
   });
 }
 
-void Encoder::encode_pass(const LevelSpec& level, BitWriter& writer, int y_begin,
-                          int y_end) {
+void Encoder::encode_pass(const LevelSpec& level, entropy::Backend backend,
+                          BitWriter& writer, int y_begin, int y_end) {
   visit_detail_points_in_rows(level, width_, height_, y_begin, y_end, [&](Point p) {
     trace::IterationScope scope(recorder_, "encode");
 
@@ -185,14 +227,41 @@ void Encoder::encode_pass(const LevelSpec& level, BitWriter& writer, int y_begin
     const int cls = ridge_.read(p.x, p.y);
     const int coder = coder_select_.read(
         static_cast<std::size_t>(cls + (level.scale > 0 ? 4 : 0)));
-    huffman_.encode(coder, symbol, writer);
+    if (backend == entropy::Backend::kHuffman) {
+      // The demonstrator path, byte-for-byte as before the roster existed.
+      huffman_.encode(coder, symbol, writer);
+      if (symbol == AdaptiveHuffmanBank::kEscape) {
+        (void)esc_fifo_.read(esc_tail_++ % esc_fifo_.size());
+        DTSE_ASSERT(!escape_values_.empty(), "escape value stream underflow");
+        const int folded = escape_values_.front();
+        escape_values_.pop_front();
+        writer.put(static_cast<std::uint32_t>(folded), kEscapeBits);
+      }
+      return;
+    }
+    // Rice / Exp-Golomb code the full folded residual, reconstructed from
+    // the pyr symbol (escapes replay the payload the predict pass queued).
+    int folded = symbol;
     if (symbol == AdaptiveHuffmanBank::kEscape) {
       (void)esc_fifo_.read(esc_tail_++ % esc_fifo_.size());
       DTSE_ASSERT(!escape_values_.empty(), "escape value stream underflow");
-      const int folded = escape_values_.front();
+      folded = escape_values_.front();
       escape_values_.pop_front();
-      writer.put(static_cast<std::uint32_t>(folded), kEscapeBits);
     }
+    std::uint32_t accum = res_accum_.read(static_cast<std::size_t>(coder));
+    std::uint32_t count = res_count_.read(static_cast<std::size_t>(coder));
+    const int k = entropy::rice_k(accum, count, kResMaxK);
+    if (backend == entropy::Backend::kRice) {
+      entropy::rice_encode(writer, static_cast<std::uint32_t>(folded), k,
+                           kResUnaryLimit, kEscapeBits);
+    } else {
+      entropy::eg_encode(writer, static_cast<std::uint32_t>(folded), k);
+    }
+    entropy::rice_update(accum, count, static_cast<std::uint32_t>(folded),
+                         kResRescaleLimit);
+    res_accum_.write(static_cast<std::size_t>(coder), accum);
+    res_count_.write(static_cast<std::size_t>(coder),
+                     static_cast<std::uint16_t>(count));
   });
 }
 
@@ -201,6 +270,10 @@ EncodedImage Encoder::encode(const support::Image& image, const CodecOptions& op
              "frame geometry does not match the encoder");
   DTSE_CHECK(!options.lossy || (options.quantizer_delta >= 1 && options.quantizer_delta <= 64),
              "quantizer delta out of range");
+  DTSE_CHECK(options.backend != entropy::Backend::kRans,
+             "the BTPC stream does not support the rANS backend");
+  DTSE_CHECK(recorder_ == nullptr || options.backend == profile_backend_,
+             "encode backend must match the instrumented model's declaration");
 
   // Load the input frame (arrival of the frame is not part of the encoder's
   // access profile).
@@ -234,7 +307,7 @@ EncodedImage Encoder::encode(const support::Image& image, const CodecOptions& op
     }
     if (options.traversal == Traversal::kLevelOrder) {
       predict_pass(levels[li], options, 0, height_);
-      encode_pass(levels[li], writer, 0, height_);
+      encode_pass(levels[li], options.backend, writer, 0, height_);
     } else {
       // Strip fusion: a point's encode only needs its own predict (pyr,
       // ridge, and the escape FIFO, which both halves walk in the same
@@ -246,7 +319,7 @@ EncodedImage Encoder::encode(const support::Image& image, const CodecOptions& op
       for (int y0 = 0; y0 < height_; y0 += tile_rows) {
         const int y1 = std::min(y0 + tile_rows, height_);
         predict_pass(levels[li], options, y0, y1);
-        encode_pass(levels[li], writer, y0, y1);
+        encode_pass(levels[li], options.backend, writer, y0, y1);
       }
     }
   }
@@ -257,6 +330,7 @@ EncodedImage Encoder::encode(const support::Image& image, const CodecOptions& op
   encoded.height = height_;
   encoded.lossy = options.lossy;
   encoded.quantizer_delta = options.lossy ? options.quantizer_delta : 1;
+  encoded.backend = options.backend;
   encoded.stream = writer.finish();
   return encoded;
 }
@@ -290,6 +364,14 @@ support::Result<support::Image> Decoder::try_decode(const EncodedImage& encoded)
         "quantizer delta " + std::to_string(encoded.quantizer_delta) +
             " outside [1, 64]");
   }
+  if (encoded.backend == entropy::Backend::kRans ||
+      !entropy::backend_valid(static_cast<std::uint8_t>(encoded.backend))) {
+    return support::Status::error(
+        support::StatusCode::kMalformedHeader,
+        "entropy backend " +
+            std::to_string(static_cast<unsigned>(encoded.backend)) +
+            " is not supported by the BTPC codec");
+  }
   if (pixels > encoded.bits()) {
     return support::Status::error(
         support::StatusCode::kTruncated,
@@ -301,6 +383,11 @@ support::Result<support::Image> Decoder::try_decode(const EncodedImage& encoded)
   support::Image image(encoded.width, encoded.height);
   BitReader reader(encoded.stream);
   AdaptiveHuffmanBank huffman;
+  std::array<std::uint32_t, kResContexts> res_accum{};
+  std::array<std::uint32_t, kResContexts> res_count{};
+  res_accum.fill(entropy::kRiceInitCount * entropy::kRiceInitMean);
+  res_count.fill(entropy::kRiceInitCount);
+  bool corrupt_symbol = false;
 
   visit_top_points(encoded.width, encoded.height, [&](Point p) {
     image.at(p.x, p.y) = static_cast<std::uint16_t>(reader.get(8));
@@ -325,15 +412,41 @@ support::Result<support::Image> Decoder::try_decode(const EncodedImage& encoded)
                        image.at(nx, ny));
       const int coder =
           select_coder(prediction.pixel_class, level.scale > 0 ? 1 : 0);
-      int folded = huffman.decode(coder, reader);
-      if (folded == AdaptiveHuffmanBank::kEscape) {
-        folded = static_cast<int>(reader.get(kEscapeBits));
+      int folded = 0;
+      if (encoded.backend == entropy::Backend::kHuffman) {
+        folded = huffman.decode(coder, reader);
+        if (folded == AdaptiveHuffmanBank::kEscape) {
+          folded = static_cast<int>(reader.get(kEscapeBits));
+        }
+      } else {
+        auto& accum = res_accum[static_cast<std::size_t>(coder)];
+        auto& count = res_count[static_cast<std::size_t>(coder)];
+        const int k = entropy::rice_k(accum, count, kResMaxK);
+        const std::uint64_t value =
+            encoded.backend == entropy::Backend::kRice
+                ? entropy::rice_decode(reader, k, kResUnaryLimit, kEscapeBits)
+                : entropy::eg_decode(reader, k, kResEgPrefix);
+        // A folded residual past the widest possible fold only exists on
+        // corrupt bits; poison the walk and report once it finishes.
+        if (value > kMaxFolded) {
+          corrupt_symbol = true;
+          folded = 0;
+        } else {
+          folded = static_cast<int>(value);
+          entropy::rice_update(accum, count, static_cast<std::uint32_t>(value),
+                               kResRescaleLimit);
+        }
       }
       const int index = unfold_residual(folded);
       const int residual = encoded.lossy ? index * delta : index;
       image.at(p.x, p.y) =
           static_cast<std::uint16_t>(clamp_sample(prediction.value + residual));
     });
+  }
+  if (corrupt_symbol) {
+    return support::Status::error(support::StatusCode::kCorrupt,
+                                  "folded residual outside the codable range",
+                                  reader.bits_read());
   }
   // The soft reader finished the (bounded) point walk on zeros if the stream
   // ran dry; surface that as the data error it is.
@@ -353,19 +466,24 @@ support::Image Decoder::decode(const EncodedImage& encoded) {
 
 std::vector<std::uint8_t> serialize(const EncodedImage& encoded) {
   std::vector<std::uint8_t> bytes;
-  bytes.reserve(12 + encoded.stream.size() * 2);
+  bytes.reserve(15 + encoded.stream.size() * 2);
   auto put16 = [&](std::uint16_t v) {
     bytes.push_back(static_cast<std::uint8_t>(v >> 8));
     bytes.push_back(static_cast<std::uint8_t>(v & 0xFF));
   };
+  // A Huffman stream keeps the legacy "BTPC" framing byte for byte; the
+  // roster backends travel in the "BTP2" extension, which inserts one
+  // backend byte before the word count.
+  const bool extended = encoded.backend != entropy::Backend::kHuffman;
   bytes.push_back('B');
   bytes.push_back('T');
   bytes.push_back('P');
-  bytes.push_back('C');
+  bytes.push_back(extended ? '2' : 'C');
   put16(static_cast<std::uint16_t>(encoded.width));
   put16(static_cast<std::uint16_t>(encoded.height));
   bytes.push_back(encoded.lossy ? 1 : 0);
   bytes.push_back(static_cast<std::uint8_t>(encoded.quantizer_delta));
+  if (extended) bytes.push_back(static_cast<std::uint8_t>(encoded.backend));
   put16(static_cast<std::uint16_t>(encoded.stream.size() >> 16));
   put16(static_cast<std::uint16_t>(encoded.stream.size() & 0xFFFF));
   for (const auto word : encoded.stream) put16(word);
@@ -378,9 +496,17 @@ support::Result<EncodedImage> try_deserialize(const std::vector<std::uint8_t>& b
                                   "container shorter than the 14-byte header",
                                   static_cast<std::uint64_t>(bytes.size()) * 8);
   }
-  if (bytes[0] != 'B' || bytes[1] != 'T' || bytes[2] != 'P' || bytes[3] != 'C') {
+  if (bytes[0] != 'B' || bytes[1] != 'T' || bytes[2] != 'P' ||
+      (bytes[3] != 'C' && bytes[3] != '2')) {
     return support::Status::error(support::StatusCode::kMalformedHeader,
                                   "missing BTPC magic", 0);
+  }
+  const bool extended = bytes[3] == '2';
+  const std::size_t header_bytes = extended ? 15 : 14;
+  if (bytes.size() < header_bytes) {
+    return support::Status::error(support::StatusCode::kTruncated,
+                                  "container shorter than the 15-byte BTP2 header",
+                                  static_cast<std::uint64_t>(bytes.size()) * 8);
   }
   auto get16 = [&](std::size_t offset) {
     return static_cast<std::uint32_t>((bytes[offset] << 8) | bytes[offset + 1]);
@@ -390,20 +516,29 @@ support::Result<EncodedImage> try_deserialize(const std::vector<std::uint8_t>& b
   encoded.height = static_cast<int>(get16(6));
   encoded.lossy = bytes[8] != 0;
   encoded.quantizer_delta = bytes[9];
-  const std::size_t words = (get16(10) << 16) | get16(12);
+  if (extended) {
+    if (!entropy::backend_valid(bytes[10])) {
+      return support::Status::error(
+          support::StatusCode::kMalformedHeader,
+          "unknown entropy backend " + std::to_string(bytes[10]), 80);
+    }
+    encoded.backend = static_cast<entropy::Backend>(bytes[10]);
+  }
+  const std::size_t words_at = extended ? 11 : 10;
+  const std::size_t words = (get16(words_at) << 16) | get16(words_at + 2);
   // The declared word count bounds the allocation by the actual input size:
   // a fuzzed length field cannot make the parser reserve past the bytes it
   // was handed.
-  if (bytes.size() < 14 + words * 2) {
+  if (bytes.size() < header_bytes + words * 2) {
     return support::Status::error(
         support::StatusCode::kTruncated,
         "container declares " + std::to_string(words) + " stream words but carries " +
-            std::to_string((bytes.size() - 14) / 2),
+            std::to_string((bytes.size() - header_bytes) / 2),
         static_cast<std::uint64_t>(bytes.size()) * 8);
   }
   encoded.stream.reserve(words);
   for (std::size_t i = 0; i < words; ++i) {
-    encoded.stream.push_back(static_cast<std::uint16_t>(get16(14 + 2 * i)));
+    encoded.stream.push_back(static_cast<std::uint16_t>(get16(header_bytes + 2 * i)));
   }
   return encoded;
 }
@@ -419,7 +554,7 @@ ir::Application profile_btpc(const support::Image& image, int declared_width,
                              const trace::RecorderOptions& recorder_options) {
   trace::Recorder recorder("btpc", recorder_options);
   Encoder encoder(recorder, image.width(), image.height(), declared_width,
-                  declared_height);
+                  declared_height, options);
   (void)encoder.encode(image, options);
   const double scale =
       static_cast<double>(declared_width) * static_cast<double>(declared_height) /

@@ -21,9 +21,10 @@
 #include <optional>
 #include <vector>
 
-#include "btpc/adaptive_huffman.hpp"
 #include "btpc/bitstream.hpp"
 #include "btpc/pyramid.hpp"
+#include "entropy/adaptive_huffman.hpp"
+#include "entropy/entropy_coder.hpp"
 #include "support/image.hpp"
 #include "support/status.hpp"
 #include "trace/instrumented_array.hpp"
@@ -51,6 +52,13 @@ struct CodecOptions {
   /// Strip height in image rows for Traversal::kTiled (0 = pick from the
   /// frame width so a strip's image/pyr/ridge rows fit in ~256 KiB).
   int tile_rows = 0;
+  /// Entropy backend the residual symbols travel through.  kHuffman is the
+  /// paper demonstrator (and the only format the legacy "BTPC" container
+  /// carries); kRice and kExpGolomb swap the coder-state arrays the
+  /// exploration prices.  kRans is not offered here: the BTPC stream
+  /// interleaves entropy codes with raw fields level by level, which fights
+  /// rANS's reverse-order encoding.
+  entropy::Backend backend = entropy::Backend::kHuffman;
 };
 
 /// An encoded image: self-contained header plus the entropy-coded stream.
@@ -59,6 +67,7 @@ struct EncodedImage {
   int height = 0;
   bool lossy = false;
   int quantizer_delta = 1;
+  entropy::Backend backend = entropy::Backend::kHuffman;
   std::vector<std::uint16_t> stream;
 
   [[nodiscard]] std::uint64_t bits() const {
@@ -77,8 +86,11 @@ class Encoder {
   /// Instrumented encoder.  `declared_width/height` give the product
   /// geometry entered into the application model (profile a 512x512 frame,
   /// declare the 1024x1024 design point); 0 means same as the frame.
+  /// `options.backend` decides which coder-state arrays register with the
+  /// recorder (the model only prices arrays the selected backend touches);
+  /// `encode` must then be called with the same backend.
   Encoder(trace::Recorder& recorder, int width, int height, int declared_width = 0,
-          int declared_height = 0);
+          int declared_height = 0, const CodecOptions& options = {});
 
   /// Compresses `image` (dimensions must match the construction geometry).
   [[nodiscard]] EncodedImage encode(const support::Image& image,
@@ -94,17 +106,21 @@ class Encoder {
   /// [y_begin, y_end).  The full-level passes are the [0, height) case.
   void predict_pass(const LevelSpec& level, const CodecOptions& options, int y_begin,
                     int y_end);
-  void encode_pass(const LevelSpec& level, BitWriter& writer, int y_begin, int y_end);
+  void encode_pass(const LevelSpec& level, entropy::Backend backend, BitWriter& writer,
+                   int y_begin, int y_end);
 
   trace::Recorder* recorder_ = nullptr;
   int width_;
   int height_;
+  entropy::Backend profile_backend_ = entropy::Backend::kHuffman;
 
   // The demonstrator's basic groups (Section 4.1: 18 important arrays).
   trace::InstrumentedArray2D<std::uint16_t> image_;
   trace::InstrumentedArray2D<std::uint8_t> pyr_;
   trace::InstrumentedArray2D<std::uint8_t> ridge_;
-  AdaptiveHuffmanBank huffman_;
+  entropy::AdaptiveHuffmanBank huffman_;
+  trace::InstrumentedArray<std::uint32_t> res_accum_;  ///< Rice/EG per-coder state
+  trace::InstrumentedArray<std::uint16_t> res_count_;
   trace::InstrumentedArray<std::uint16_t> esc_fifo_;
   trace::InstrumentedArray<std::uint8_t> coder_select_;
   trace::InstrumentedArray<std::uint8_t> pred_ctx_;

@@ -26,7 +26,7 @@
 #include "btpc/bitstream.hpp"
 #include "trace/instrumented_array.hpp"
 
-namespace dtse::btpc {
+namespace dtse::entropy {
 
 /// Bank of `kCoders` FGK coders over shared (optionally instrumented) arrays.
 class AdaptiveHuffmanBank {
@@ -50,10 +50,10 @@ class AdaptiveHuffmanBank {
   void reset();
 
   /// Encodes `symbol` with coder `coder` and updates the model.
-  void encode(int coder, int symbol, BitWriter& writer);
+  void encode(int coder, int symbol, btpc::BitWriter& writer);
 
   /// Decodes one symbol with coder `coder` and updates the model.
-  [[nodiscard]] int decode(int coder, BitReader& reader);
+  [[nodiscard]] int decode(int coder, btpc::BitReader& reader);
 
   /// Code length (bits) `symbol` would currently cost — rate estimation.
   /// Served from a per-coder cached table that is rebuilt lazily (one
@@ -100,4 +100,4 @@ class AdaptiveHuffmanBank {
   return (folded % 2 == 0) ? folded / 2 : -(folded + 1) / 2;
 }
 
-}  // namespace dtse::btpc
+}  // namespace dtse::entropy

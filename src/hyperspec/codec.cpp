@@ -1,20 +1,19 @@
 #include "hyperspec/codec.hpp"
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <cmath>
+#include <optional>
 #include <string>
 
+#include "entropy/exp_golomb.hpp"
+#include "entropy/golomb_rice.hpp"
 #include "support/rng.hpp"
 
 namespace dtse::hyperspec {
 
 namespace {
-
-// Rice state seed: any value works as long as encoder and decoder agree; a
-// counter of 4 with a mean-4 accumulator starts the adaptation near k = 2.
-constexpr std::uint32_t kInitCount = 4;
-constexpr std::uint32_t kInitMean = 4;
 
 void check_options(const HsCodecOptions& options) {
   DTSE_CHECK(options.dynamic_range_bits >= 2 && options.dynamic_range_bits <= 16,
@@ -23,6 +22,8 @@ void check_options(const HsCodecOptions& options) {
              "unary limit out of range");
   DTSE_CHECK(options.rescale_limit >= 8 && options.rescale_limit <= 4096,
              "rescale limit out of range");
+  DTSE_CHECK(options.backend != entropy::Backend::kHuffman,
+             "the hyperspectral stream does not support the Huffman backend");
 }
 
 /// Escape payload width: the mapped residual never exceeds maxval — in-band
@@ -88,47 +89,6 @@ template <typename CurrFn, typename PrevFn>
   }
   const int magnitude = mapped - theta;
   return pred <= maxval - pred ? magnitude : -magnitude;
-}
-
-/// Sample-adaptive Rice parameter: largest k whose per-sample cost estimate
-/// (counter << k) stays within the accumulated residual magnitude.
-[[nodiscard]] int rice_k(std::uint32_t accum, std::uint32_t count, int max_k) {
-  int k = 0;
-  while (k < max_k && (static_cast<std::uint64_t>(count) << (k + 1)) <= accum) ++k;
-  return k;
-}
-
-void rice_update(std::uint32_t& accum, std::uint32_t& count, std::uint32_t mapped,
-                 int rescale_limit) {
-  accum += mapped;
-  count += 1;
-  if (count >= static_cast<std::uint32_t>(rescale_limit)) {
-    accum = (accum + 1) >> 1;
-    count = (count + 1) >> 1;
-  }
-}
-
-void rice_encode(btpc::BitWriter& writer, std::uint32_t mapped, int k,
-                 const HsCodecOptions& options) {
-  const std::uint32_t quotient = mapped >> k;
-  if (quotient < static_cast<std::uint32_t>(options.unary_limit)) {
-    writer.put(0, static_cast<int>(quotient));
-    writer.put(1, 1);
-    if (k > 0) writer.put(mapped & ((1u << k) - 1u), k);
-    return;
-  }
-  // Escape: a maximal run of zeros (no terminator) followed by the raw value.
-  writer.put(0, options.unary_limit);
-  writer.put(mapped, raw_bits(options));
-}
-
-[[nodiscard]] std::uint32_t rice_decode(btpc::BitReader& reader, int k,
-                                        const HsCodecOptions& options) {
-  int quotient = 0;
-  while (quotient < options.unary_limit && reader.get_bit() == 0) ++quotient;
-  if (quotient == options.unary_limit) return reader.get(raw_bits(options));
-  const std::uint32_t low = k > 0 ? reader.get(k) : 0;
-  return (static_cast<std::uint32_t>(quotient) << k) | low;
 }
 
 /// Fills zeroed declared-geometry fields from the profiled shape.  Runs
@@ -199,6 +159,9 @@ Encoder::Encoder(CubeShape shape)
       residual_("residual", shape_.plane_samples()),
       rice_accum_("rice_accum", static_cast<std::size_t>(shape_.bands)),
       rice_count_("rice_count", static_cast<std::size_t>(shape_.bands)),
+      rans_freq_("rans_freq", entropy::kRansSymbols),
+      rans_cum_("rans_cum", entropy::kRansSymbols + 1),
+      rans_state_("rans_state", 2),
       bit_accum_("bit_accum", 4),
       out_buf_("out_buf", 4096) {}
 
@@ -213,18 +176,50 @@ Encoder::Encoder(trace::Recorder& recorder, CubeShape shape, CubeShape declared,
       profile_options_((check_options(options), options)),
       // Bitwidths derive from the coder options: samples and mapped
       // residuals span the dynamic range; the Rice accumulator/counter are
-      // sized for their overflow-free maxima at the rescale threshold.
+      // sized for their overflow-free maxima at the rescale threshold.  Only
+      // the arrays the selected backend touches register with the recorder —
+      // the model prices the coder state the design point would really build.
       cube_(recorder, "cube", shape.samples(), options.dynamic_range_bits, 0,
             declared.samples()),
       residual_(recorder, "residual", shape.plane_samples(),
                 options.dynamic_range_bits, 0, declared.plane_samples()),
-      rice_accum_(recorder, "rice_accum", static_cast<std::size_t>(shape.bands),
-                  options.dynamic_range_bits +
-                      std::bit_width(static_cast<unsigned>(options.rescale_limit - 1)),
-                  0, static_cast<std::uint64_t>(declared.bands)),
-      rice_count_(recorder, "rice_count", static_cast<std::size_t>(shape.bands),
-                  std::bit_width(static_cast<unsigned>(options.rescale_limit)), 0,
-                  static_cast<std::uint64_t>(declared.bands)),
+      rice_accum_(options.backend != entropy::Backend::kRans
+                      ? trace::InstrumentedArray<std::uint32_t>(
+                            recorder, "rice_accum", static_cast<std::size_t>(shape.bands),
+                            options.dynamic_range_bits +
+                                std::bit_width(
+                                    static_cast<unsigned>(options.rescale_limit - 1)),
+                            0, static_cast<std::uint64_t>(declared.bands))
+                      : trace::InstrumentedArray<std::uint32_t>(
+                            "rice_accum", static_cast<std::size_t>(shape.bands))),
+      rice_count_(options.backend != entropy::Backend::kRans
+                      ? trace::InstrumentedArray<std::uint16_t>(
+                            recorder, "rice_count", static_cast<std::size_t>(shape.bands),
+                            std::bit_width(static_cast<unsigned>(options.rescale_limit)),
+                            0, static_cast<std::uint64_t>(declared.bands))
+                      : trace::InstrumentedArray<std::uint16_t>(
+                            "rice_count", static_cast<std::size_t>(shape.bands))),
+      // The rANS tables do double duty (histogram counts, then normalized
+      // frequencies), so the frequency array is sized for the histogram's
+      // worst case at the declared plane (up to three symbols per sample).
+      rans_freq_(options.backend == entropy::Backend::kRans
+                     ? trace::InstrumentedArray<std::uint32_t>(
+                           recorder, "rans_freq", entropy::kRansSymbols,
+                           std::max<int>(entropy::kRansFreqBits,
+                                         std::bit_width(3 * declared.plane_samples())),
+                           0, entropy::kRansSymbols)
+                     : trace::InstrumentedArray<std::uint32_t>("rans_freq",
+                                                               entropy::kRansSymbols)),
+      rans_cum_(options.backend == entropy::Backend::kRans
+                    ? trace::InstrumentedArray<std::uint16_t>(
+                          recorder, "rans_cum", entropy::kRansSymbols + 1,
+                          entropy::kRansFreqBits, 0, entropy::kRansSymbols + 1)
+                    : trace::InstrumentedArray<std::uint16_t>(
+                          "rans_cum", entropy::kRansSymbols + 1)),
+      rans_state_(options.backend == entropy::Backend::kRans
+                      ? trace::InstrumentedArray<std::uint32_t>(recorder, "rans_state",
+                                                                2, 32, 0, 2)
+                      : trace::InstrumentedArray<std::uint32_t>("rans_state", 2)),
       bit_accum_(recorder, "bit_accum", 4, 20),
       out_buf_(recorder, "out_buf", 4096, 16) {
   // The cube is the data-reuse candidate: row-buffer windows scale with the
@@ -276,6 +271,7 @@ void Encoder::predict_band(int z, int maxval) {
 void Encoder::encode_band(int z, btpc::BitWriter& writer, const HsCodecOptions& options) {
   const int width = shape_.width;
   const int max_k = options.dynamic_range_bits;
+  const bool exp_golomb = options.backend == entropy::Backend::kExpGolomb;
   for (int y = 0; y < shape_.height; ++y) {
     for (int x = 0; x < width; ++x) {
       trace::IterationScope scope(recorder_, "hs_encode");
@@ -283,12 +279,103 @@ void Encoder::encode_band(int z, btpc::BitWriter& writer, const HsCodecOptions& 
           residual_.read(static_cast<std::size_t>(y) * width + x);
       std::uint32_t accum = rice_accum_.read(static_cast<std::size_t>(z));
       std::uint32_t count = rice_count_.read(static_cast<std::size_t>(z));
-      rice_encode(writer, mapped, rice_k(accum, count, max_k), options);
-      rice_update(accum, count, mapped, options.rescale_limit);
+      const int k = entropy::rice_k(accum, count, max_k);
+      if (exp_golomb) {
+        entropy::eg_encode(writer, mapped, k);
+      } else {
+        entropy::rice_encode(writer, mapped, k, options.unary_limit, raw_bits(options));
+      }
+      entropy::rice_update(accum, count, mapped, options.rescale_limit);
       rice_accum_.write(static_cast<std::size_t>(z), accum);
       rice_count_.write(static_cast<std::size_t>(z),
                         static_cast<std::uint16_t>(count));
     }
+  }
+}
+
+void Encoder::encode_band_rans(int z, btpc::BitWriter& writer) {
+  const std::size_t plane = static_cast<std::size_t>(shape_.plane_samples());
+  (void)z;  // the residual plane already holds band z; rANS keeps no per-band state
+
+  // Histogram pass: expand every residual into its escape symbols and count
+  // them in the frequency array (read-modify-write per symbol).
+  for (int s = 0; s < entropy::kRansSymbols; ++s) {
+    trace::IterationScope scope(recorder_, "hs_rans_hist");
+    rans_freq_.write(static_cast<std::size_t>(s), 0);
+  }
+  auto expand_one = [](std::uint32_t value, std::uint32_t (&symbols)[3]) {
+    if (value < static_cast<std::uint32_t>(entropy::kRansEscape)) {
+      symbols[0] = value;
+      return 1;
+    }
+    symbols[0] = entropy::kRansEscape;
+    symbols[1] = value & 0xFFu;
+    symbols[2] = value >> 8;
+    return 3;
+  };
+  for (std::size_t i = 0; i < plane; ++i) {
+    trace::IterationScope scope(recorder_, "hs_rans_hist");
+    const std::uint32_t mapped = residual_.read(i);
+    std::uint32_t symbols[3];
+    const int n = expand_one(mapped, symbols);
+    for (int j = 0; j < n; ++j) {
+      rans_freq_.write(symbols[j], rans_freq_.read(symbols[j]) + 1);
+    }
+  }
+
+  // Normalization: pull the counts, build the scale-sum table (pure compute,
+  // not a background-memory access), and store frequencies and cumulative
+  // bases back — the tables the decoder-side hardware would keep on chip.
+  std::array<std::uint32_t, entropy::kRansSymbols> counts{};
+  for (int s = 0; s < entropy::kRansSymbols; ++s) {
+    trace::IterationScope scope(recorder_, "hs_rans_norm");
+    counts[static_cast<std::size_t>(s)] = rans_freq_.read(static_cast<std::size_t>(s));
+  }
+  const entropy::RansTable table = entropy::rans_build_table(counts);
+  for (int s = 0; s < entropy::kRansSymbols; ++s) {
+    trace::IterationScope scope(recorder_, "hs_rans_norm");
+    rans_freq_.write(static_cast<std::size_t>(s), table.freq[static_cast<std::size_t>(s)]);
+    rans_cum_.write(static_cast<std::size_t>(s), table.cum[static_cast<std::size_t>(s)]);
+  }
+  {
+    trace::IterationScope scope(recorder_, "hs_rans_norm");
+    rans_cum_.write(entropy::kRansSymbols, table.cum[entropy::kRansSymbols]);
+  }
+
+  // Serialize the table for the decoder.
+  for (int s = 0; s < entropy::kRansSymbols; ++s) {
+    trace::IterationScope scope(recorder_, "hs_rans_table");
+    writer.put(rans_freq_.read(static_cast<std::size_t>(s)), entropy::kRansFreqBits);
+  }
+
+  // Encode pass: rANS is last-in-first-out, so the residual plane is walked
+  // BACKWARD (and an escaped value's bytes in reverse emission order); the
+  // renormalization words buffer up and are flushed reversed so the decoder
+  // reads the block strictly forward.
+  rans_state_.write(0, static_cast<std::uint32_t>(entropy::kRansL));
+  std::vector<std::uint16_t> emitted;
+  for (std::size_t i = plane; i-- > 0;) {
+    trace::IterationScope scope(recorder_, "hs_rans_encode");
+    const std::uint32_t mapped = residual_.read(i);
+    std::uint32_t symbols[3];
+    const int n = expand_one(mapped, symbols);
+    for (int j = n; j-- > 0;) {
+      const std::uint32_t freq = rans_freq_.read(symbols[j]);
+      const std::uint32_t cum = rans_cum_.read(symbols[j]);
+      std::uint64_t state = rans_state_.read(0);
+      entropy::rans_encode_step(state, freq, cum, emitted);
+      rans_state_.write(0, static_cast<std::uint32_t>(state));
+    }
+  }
+  {
+    trace::IterationScope scope(recorder_, "hs_rans_flush");
+    const std::uint64_t state = rans_state_.read(0);
+    writer.put(static_cast<std::uint32_t>(state >> 16), 16);
+    writer.put(static_cast<std::uint32_t>(state & 0xFFFFu), 16);
+  }
+  for (auto it = emitted.rbegin(); it != emitted.rend(); ++it) {
+    trace::IterationScope scope(recorder_, "hs_rans_flush");
+    writer.put(*it, 16);
   }
 }
 
@@ -297,7 +384,8 @@ EncodedCube Encoder::encode(const Cube& cube, const HsCodecOptions& options) {
   check_options(options);
   DTSE_CHECK(recorder_ == nullptr ||
                  (options.dynamic_range_bits == profile_options_.dynamic_range_bits &&
-                  options.rescale_limit == profile_options_.rescale_limit),
+                  options.rescale_limit == profile_options_.rescale_limit &&
+                  options.backend == profile_options_.backend),
              "encode options must match the instrumented model's declaration");
   const int maxval = (1 << options.dynamic_range_bits) - 1;
 
@@ -308,14 +396,20 @@ EncodedCube Encoder::encode(const Cube& cube, const HsCodecOptions& options) {
   btpc::BitWriter writer;
   writer.attach(&bit_accum_, &out_buf_);
 
+  const bool rans = options.backend == entropy::Backend::kRans;
   for (int z = 0; z < shape_.bands; ++z) {
-    {
+    if (!rans) {
       trace::IterationScope scope(recorder_, "hs_band_setup");
-      rice_accum_.write(static_cast<std::size_t>(z), kInitCount * kInitMean);
-      rice_count_.write(static_cast<std::size_t>(z), kInitCount);
+      rice_accum_.write(static_cast<std::size_t>(z),
+                        entropy::kRiceInitCount * entropy::kRiceInitMean);
+      rice_count_.write(static_cast<std::size_t>(z), entropy::kRiceInitCount);
     }
     predict_band(z, maxval);
-    encode_band(z, writer, options);
+    if (rans) {
+      encode_band_rans(z, writer);
+    } else {
+      encode_band(z, writer, options);
+    }
   }
 
   EncodedCube encoded;
@@ -323,6 +417,7 @@ EncodedCube Encoder::encode(const Cube& cube, const HsCodecOptions& options) {
   encoded.dynamic_range_bits = options.dynamic_range_bits;
   encoded.unary_limit = options.unary_limit;
   encoded.rescale_limit = options.rescale_limit;
+  encoded.backend = options.backend;
   encoded.stream = writer.finish();
   return encoded;
 }
@@ -361,10 +456,23 @@ support::Result<Cube> Decoder::try_decode(const EncodedCube& encoded) {
         support::StatusCode::kMalformedHeader,
         "rescale limit " + std::to_string(encoded.rescale_limit) + " outside [8, 4096]");
   }
-  // Every Rice code costs at least its 1-bit quotient terminator, so a
-  // stream shorter than one bit per sample is truncated by construction —
-  // and the cube allocation stays bounded by the input size.
-  if (shape.samples() > encoded.bits()) {
+  if (!entropy::backend_valid(static_cast<std::uint8_t>(encoded.backend)) ||
+      encoded.backend == entropy::Backend::kHuffman) {
+    return support::Status::error(
+        support::StatusCode::kMalformedHeader,
+        "backend " + std::to_string(static_cast<int>(encoded.backend)) +
+            " is not a hyperspectral entropy backend");
+  }
+  const bool rans = encoded.backend == entropy::Backend::kRans;
+  // Minimum stream length: a Rice or Exp-Golomb code costs at least one bit
+  // per sample, so a shorter stream is truncated by construction (and the
+  // cube allocation stays bounded by the input size).  rANS packs samples
+  // below a bit but pays a fixed per-band framing cost (frequency table plus
+  // final state), which bounds the stream from below instead.
+  const std::uint64_t min_bits =
+      rans ? static_cast<std::uint64_t>(shape.bands) * entropy::kRansBlockBits
+           : shape.samples();
+  if (min_bits > encoded.bits()) {
     return support::Status::error(
         support::StatusCode::kTruncated,
         "stream of " + std::to_string(encoded.bits()) + " bits cannot carry " +
@@ -376,9 +484,12 @@ support::Result<Cube> Decoder::try_decode(const EncodedCube& encoded) {
   options.dynamic_range_bits = encoded.dynamic_range_bits;
   options.unary_limit = encoded.unary_limit;
   options.rescale_limit = encoded.rescale_limit;
+  options.backend = encoded.backend;
   const int maxval = (1 << options.dynamic_range_bits) - 1;
   const int max_k = options.dynamic_range_bits;
   const int width = encoded.shape.width;
+  const bool exp_golomb = encoded.backend == entropy::Backend::kExpGolomb;
+  const int eg_prefix = options.dynamic_range_bits + 1;
 
   Cube cube(encoded.shape);
   btpc::BitReader reader(encoded.stream);
@@ -386,18 +497,54 @@ support::Result<Cube> Decoder::try_decode(const EncodedCube& encoded) {
   std::vector<std::uint32_t> count(static_cast<std::size_t>(encoded.shape.bands));
 
   for (int z = 0; z < encoded.shape.bands; ++z) {
-    accum[static_cast<std::size_t>(z)] = kInitCount * kInitMean;
-    count[static_cast<std::size_t>(z)] = kInitCount;
+    accum[static_cast<std::size_t>(z)] = entropy::kRiceInitCount * entropy::kRiceInitMean;
+    count[static_cast<std::size_t>(z)] = entropy::kRiceInitCount;
+    // A rANS band is a self-framed block: table, final state, renorm words.
+    entropy::RansTable table;
+    std::optional<entropy::RansDecoder> rans_decoder;
+    if (rans) {
+      if (auto status = entropy::rans_read_table(reader, table); !status.ok()) {
+        return status;
+      }
+      rans_decoder.emplace(table);
+      if (auto status = rans_decoder->init(reader); !status.ok()) return status;
+    }
     auto curr = [&](int y, int x) { return static_cast<int>(cube.at(z, y, x)); };
     auto prev = [&](int y, int x) { return static_cast<int>(cube.at(z - 1, y, x)); };
     for (int y = 0; y < encoded.shape.height; ++y) {
       for (int x = 0; x < width; ++x) {
-        const int k =
-            rice_k(accum[static_cast<std::size_t>(z)], count[static_cast<std::size_t>(z)],
-                   max_k);
-        const std::uint32_t mapped = rice_decode(reader, k, options);
-        rice_update(accum[static_cast<std::size_t>(z)], count[static_cast<std::size_t>(z)],
-                    mapped, options.rescale_limit);
+        std::uint32_t mapped = 0;
+        if (rans) {
+          const std::uint32_t value = rans_decoder->decode_value(reader);
+          // The mapped residual never exceeds maxval on the encode side, so a
+          // larger decoded value is the block's corruption tripwire.
+          if (value > static_cast<std::uint32_t>(maxval)) {
+            return support::Status::error(support::StatusCode::kCorrupt,
+                                          "mapped residual outside the codable range",
+                                          reader.bits_read());
+          }
+          mapped = value;
+        } else {
+          const int k = entropy::rice_k(accum[static_cast<std::size_t>(z)],
+                                        count[static_cast<std::size_t>(z)], max_k);
+          if (exp_golomb) {
+            const std::uint64_t value = entropy::eg_decode(reader, k, eg_prefix);
+            // Covers both an over-long prefix (kEgInvalid) and a decoded value
+            // no in-range residual could have produced.
+            if (value > static_cast<std::uint64_t>(maxval)) {
+              return support::Status::error(support::StatusCode::kCorrupt,
+                                            "mapped residual outside the codable range",
+                                            reader.bits_read());
+            }
+            mapped = static_cast<std::uint32_t>(value);
+          } else {
+            mapped = entropy::rice_decode(reader, k, options.unary_limit,
+                                          raw_bits(options));
+          }
+          entropy::rice_update(accum[static_cast<std::size_t>(z)],
+                               count[static_cast<std::size_t>(z)], mapped,
+                               options.rescale_limit);
+        }
         // Prediction sees exactly the samples the encoder saw: decoding is
         // lossless and strictly causal in (band, raster) order.
         const int pred = predict_sample(z > 0, curr, prev, y, x, width, maxval);
@@ -429,8 +576,11 @@ Cube Decoder::decode(const EncodedCube& encoded) {
 
 namespace {
 
-constexpr std::uint8_t kHsMagic[4] = {'H', 'S', 'C', '1'};
+// Container versioning: "HSC1" is the legacy Rice-only layout and stays
+// byte-identical; "HSC2" inserts one backend byte after the coder options.
+constexpr std::uint8_t kHsMagic[3] = {'H', 'S', 'C'};
 constexpr std::size_t kHsHeaderBytes = 18;
+constexpr std::size_t kHs2HeaderBytes = 19;
 
 void put_u16(std::vector<std::uint8_t>& bytes, std::uint32_t v) {
   bytes.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFFu));
@@ -460,15 +610,21 @@ std::vector<std::uint8_t> serialize(const EncodedCube& encoded) {
   DTSE_CHECK(encoded.shape.bands <= 0xFFFF && encoded.shape.height <= 0xFFFF &&
                  encoded.shape.width <= 0xFFFF,
              "cube geometry does not fit the container");
+  DTSE_CHECK(encoded.backend != entropy::Backend::kHuffman,
+             "the hyperspectral container does not carry the Huffman backend");
+  const bool extended = encoded.backend != entropy::Backend::kRice;
   std::vector<std::uint8_t> bytes;
-  bytes.reserve(kHsHeaderBytes + encoded.stream.size() * 2);
+  bytes.reserve((extended ? kHs2HeaderBytes : kHsHeaderBytes) +
+                encoded.stream.size() * 2);
   bytes.insert(bytes.end(), std::begin(kHsMagic), std::end(kHsMagic));
+  bytes.push_back(extended ? '2' : '1');
   put_u16(bytes, static_cast<std::uint32_t>(encoded.shape.bands));
   put_u16(bytes, static_cast<std::uint32_t>(encoded.shape.height));
   put_u16(bytes, static_cast<std::uint32_t>(encoded.shape.width));
   bytes.push_back(static_cast<std::uint8_t>(encoded.dynamic_range_bits));
   bytes.push_back(static_cast<std::uint8_t>(encoded.unary_limit));
   put_u16(bytes, static_cast<std::uint32_t>(encoded.rescale_limit));
+  if (extended) bytes.push_back(static_cast<std::uint8_t>(encoded.backend));
   put_u32(bytes, static_cast<std::uint32_t>(encoded.stream.size()));
   for (const auto word : encoded.stream) put_u16(bytes, word);
   return bytes;
@@ -482,9 +638,20 @@ support::Result<EncodedCube> try_deserialize(const std::vector<std::uint8_t>& by
             std::to_string(kHsHeaderBytes) + "-byte header",
         bytes.size() * 8);
   }
-  if (!std::equal(std::begin(kHsMagic), std::end(kHsMagic), bytes.begin())) {
+  if (!std::equal(std::begin(kHsMagic), std::end(kHsMagic), bytes.begin()) ||
+      (bytes[3] != '1' && bytes[3] != '2')) {
     return support::Status::error(support::StatusCode::kMalformedHeader,
-                                  "bad container magic (expected \"HSC1\")", 0);
+                                  "bad container magic (expected \"HSC1\" or \"HSC2\")",
+                                  0);
+  }
+  const bool extended = bytes[3] == '2';
+  const std::size_t header_bytes = extended ? kHs2HeaderBytes : kHsHeaderBytes;
+  if (bytes.size() < header_bytes) {
+    return support::Status::error(
+        support::StatusCode::kTruncated,
+        "container of " + std::to_string(bytes.size()) + " bytes is shorter than the " +
+            std::to_string(header_bytes) + "-byte header",
+        bytes.size() * 8);
   }
   EncodedCube encoded;
   encoded.shape.bands = static_cast<int>(get_u16(bytes, 4));
@@ -493,20 +660,29 @@ support::Result<EncodedCube> try_deserialize(const std::vector<std::uint8_t>& by
   encoded.dynamic_range_bits = static_cast<int>(bytes[10]);
   encoded.unary_limit = static_cast<int>(bytes[11]);
   encoded.rescale_limit = static_cast<int>(get_u16(bytes, 12));
-  const std::uint32_t declared_words = get_u32(bytes, 14);
-  const std::size_t actual_words = (bytes.size() - kHsHeaderBytes) / 2;
+  if (extended) {
+    if (!entropy::backend_valid(bytes[14])) {
+      return support::Status::error(
+          support::StatusCode::kMalformedHeader,
+          "unknown entropy backend " + std::to_string(bytes[14]), 14 * 8);
+    }
+    encoded.backend = static_cast<entropy::Backend>(bytes[14]);
+  }
+  const std::size_t words_at = extended ? 15 : 14;
+  const std::uint32_t declared_words = get_u32(bytes, words_at);
+  const std::size_t actual_words = (bytes.size() - header_bytes) / 2;
   if (declared_words != actual_words ||
-      bytes.size() != kHsHeaderBytes + static_cast<std::size_t>(declared_words) * 2) {
+      bytes.size() != header_bytes + static_cast<std::size_t>(declared_words) * 2) {
     return support::Status::error(
         support::StatusCode::kTruncated,
         "container declares " + std::to_string(declared_words) + " stream words but " +
             std::to_string(actual_words) + " are present",
-        kHsHeaderBytes * 8);
+        header_bytes * 8);
   }
   encoded.stream.reserve(declared_words);
   for (std::size_t i = 0; i < declared_words; ++i) {
     encoded.stream.push_back(
-        static_cast<std::uint16_t>(get_u16(bytes, kHsHeaderBytes + i * 2)));
+        static_cast<std::uint16_t>(get_u16(bytes, header_bytes + i * 2)));
   }
   return encoded;
 }

@@ -29,6 +29,8 @@
 #include <vector>
 
 #include "btpc/bitstream.hpp"
+#include "entropy/entropy_coder.hpp"
+#include "entropy/rans.hpp"
 #include "ir/application.hpp"
 #include "support/check.hpp"
 #include "support/status.hpp"
@@ -109,6 +111,14 @@ struct HsCodecOptions {
   /// Rice state rescale threshold: when the per-band sample counter reaches
   /// this, accumulator and counter are halved (adaptation keeps tracking).
   int rescale_limit = 64;
+  /// Entropy backend the mapped residuals travel through.  kRice is the
+  /// reference coder (and the only format the legacy "HSC1" container
+  /// carries); kExpGolomb reuses the same adaptation state with a different
+  /// code, kRans swaps the per-band state arrays for frequency/cumulative
+  /// tables — a structurally different on-chip candidate set.  kHuffman is
+  /// not offered here: the bank's 64-symbol alphabet cannot cover a 16-bit
+  /// residual range without an escape design of its own.
+  entropy::Backend backend = entropy::Backend::kRice;
 };
 
 /// An encoded cube: self-contained header plus the Rice-coded stream.
@@ -117,6 +127,7 @@ struct EncodedCube {
   int dynamic_range_bits = 12;
   int unary_limit = 16;
   int rescale_limit = 64;
+  entropy::Backend backend = entropy::Backend::kRice;
   std::vector<std::uint16_t> stream;
 
   [[nodiscard]] std::uint64_t bits() const {
@@ -156,6 +167,7 @@ class Encoder {
 
   void predict_band(int z, int maxval);
   void encode_band(int z, btpc::BitWriter& writer, const HsCodecOptions& options);
+  void encode_band_rans(int z, btpc::BitWriter& writer);
 
   [[nodiscard]] int cube_sample(int z, int y, int x) {
     return cube_.read(
@@ -171,6 +183,9 @@ class Encoder {
   trace::InstrumentedArray<std::uint16_t> residual_;    ///< mapped residual plane
   trace::InstrumentedArray<std::uint32_t> rice_accum_;  ///< per-band accumulator
   trace::InstrumentedArray<std::uint16_t> rice_count_;  ///< per-band counter
+  trace::InstrumentedArray<std::uint32_t> rans_freq_;   ///< histogram, then freq table
+  trace::InstrumentedArray<std::uint16_t> rans_cum_;    ///< cumulative table
+  trace::InstrumentedArray<std::uint32_t> rans_state_;  ///< coder state mirror
   trace::InstrumentedArray<std::uint32_t> bit_accum_;   ///< bitstream packing state
   trace::InstrumentedArray<std::uint16_t> out_buf_;     ///< output stream ring
 };

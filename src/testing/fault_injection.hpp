@@ -63,6 +63,10 @@ enum class DecodeOutcome : std::uint8_t {
                                        const std::vector<std::uint8_t>& pristine);
 [[nodiscard]] DecodeOutcome probe_hyperspec(const std::vector<std::uint8_t>& bytes,
                                             const std::vector<std::uint8_t>& pristine);
+/// Probes the standalone entropy-batch container ("ENT1"), whichever roster
+/// backend the header selects.
+[[nodiscard]] DecodeOutcome probe_entropy(const std::vector<std::uint8_t>& bytes,
+                                          const std::vector<std::uint8_t>& pristine);
 
 /// Aggregated campaign result.  `violations` carries one replay line per
 /// contract breach ("kind=bit-flip seed=123: threw ..."), empty on success.

@@ -35,17 +35,21 @@ hyperspec::CubeShape HyperspecWorkload::profile_shape(const WorkloadOptions& opt
 }
 
 ir::Application HyperspecWorkload::profile(const WorkloadOptions& options) const {
+  auto codec = codec_;
+  if (options.entropy_backend) codec.backend = *options.entropy_backend;
   const auto cube = hyperspec::make_synthetic_cube(profile_shape(options), options.seed,
-                                                   codec_.dynamic_range_bits);
-  return hyperspec::profile_hyperspec(cube, declared_, codec_, options.recorder);
+                                                   codec.dynamic_range_bits);
+  return hyperspec::profile_hyperspec(cube, declared_, codec, options.recorder);
 }
 
 VerifyReport HyperspecWorkload::verify(const WorkloadOptions& options) const {
+  auto codec = codec_;
+  if (options.entropy_backend) codec.backend = *options.entropy_backend;
   const auto shape = profile_shape(options);
   const auto cube =
-      hyperspec::make_synthetic_cube(shape, options.seed, codec_.dynamic_range_bits);
+      hyperspec::make_synthetic_cube(shape, options.seed, codec.dynamic_range_bits);
   hyperspec::Encoder encoder(shape);
-  const auto encoded = encoder.encode(cube, codec_);
+  const auto encoded = encoder.encode(cube, codec);
   auto decoded = hyperspec::Decoder{}.try_decode(encoded);
   if (!decoded.ok()) {
     return VerifyReport::fail("decode", decoded.status().to_string());

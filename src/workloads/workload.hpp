@@ -20,10 +20,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "entropy/entropy_coder.hpp"
 #include "ir/application.hpp"
 #include "trace/recorder.hpp"
 
@@ -69,6 +71,12 @@ struct WorkloadOptions {
   /// Reuse-simulation knobs of the profiling run, forwarded to the recorder
   /// (exact vs clock mode, exact-ring threshold).
   trace::RecorderOptions recorder;
+  /// Entropy backend override for workloads whose kernel ends in an entropy
+  /// coder (btpc, hyperspec); empty keeps the workload's constructed codec
+  /// options.  The codec contracts still apply: btpc rejects kRans and
+  /// hyperspec rejects kHuffman, so sweep drivers pick from each workload's
+  /// supported set.  Workloads without an entropy stage ignore the field.
+  std::optional<entropy::Backend> entropy_backend;
 };
 
 /// The workload contract.  Implementations must be deterministic: for a

@@ -7,16 +7,20 @@
 
 #include <set>
 
-#include "btpc/adaptive_huffman.hpp"
 #include "btpc/bitstream.hpp"
 #include "btpc/codec.hpp"
 #include "btpc/predictor.hpp"
 #include "btpc/pyramid.hpp"
+#include "entropy/adaptive_huffman.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
 
 namespace dtse::btpc {
 namespace {
+
+using entropy::AdaptiveHuffmanBank;
+using entropy::fold_residual;
+using entropy::unfold_residual;
 
 TEST(Bitstream, RoundTripBits) {
   BitWriter writer;

@@ -9,29 +9,44 @@
 #include <vector>
 
 #include "btpc/codec.hpp"
+#include "entropy/entropy_coder.hpp"
 #include "hyperspec/codec.hpp"
 #include "support/image.hpp"
+#include "support/rng.hpp"
 #include "testing/fault_injection.hpp"
 
 namespace dtse::testing {
 namespace {
 
-std::vector<std::uint8_t> golden_btpc(int edge, int delta) {
+std::vector<std::uint8_t> golden_btpc(int edge, int delta,
+                                      entropy::Backend backend = entropy::Backend::kHuffman) {
   const auto image = support::make_synthetic_image(
       edge, edge, support::SyntheticKind::kCompound, 4242);
   btpc::Encoder encoder(edge, edge);
   btpc::CodecOptions options;
   options.lossy = delta > 1;
   options.quantizer_delta = delta;
+  options.backend = backend;
   return btpc::serialize(encoder.encode(image, options));
 }
 
-std::vector<std::uint8_t> golden_hyperspec(hyperspec::CubeShape shape, int unary) {
+std::vector<std::uint8_t> golden_hyperspec(hyperspec::CubeShape shape, int unary,
+                                           entropy::Backend backend = entropy::Backend::kRice) {
   hyperspec::Encoder encoder(shape);
   hyperspec::HsCodecOptions options;
   options.unary_limit = unary;
+  options.backend = backend;
   return hyperspec::serialize(
       encoder.encode(hyperspec::make_synthetic_cube(shape, 31), options));
+}
+
+std::vector<std::uint8_t> golden_entropy(entropy::Backend backend, std::uint64_t seed) {
+  support::Rng rng(seed);
+  std::vector<std::uint32_t> values(512);
+  for (auto& v : values) {
+    v = static_cast<std::uint32_t>(rng.below(8) == 0 ? rng.below(4096) : rng.below(64));
+  }
+  return entropy::serialize(entropy::encode_batch(backend, values, {}));
 }
 
 TEST(Mutators, AreDeterministicAndNeverIdentity) {
@@ -82,6 +97,52 @@ TEST(FaultInjection, HyperspecNarrowUnaryCampaignHoldsTheTrichotomy) {
   const auto report = run_campaign(
       probe_hyperspec, golden_hyperspec({8, 8, 16}, 8), 18, 4, 1000);
   EXPECT_TRUE(report.passed()) << report.summary();
+}
+
+// The new-backend containers: the "BTP2"/"HSC2" extended headers and both
+// new coders' decode loops hold the same trichotomy as the legacy paths.
+
+TEST(FaultInjection, BtpcExpGolombCampaignHoldsTheTrichotomy) {
+  const auto report = run_campaign(
+      probe_btpc, golden_btpc(48, 1, entropy::Backend::kExpGolomb), 15, 5, 1000);
+  EXPECT_TRUE(report.passed()) << report.summary();
+  EXPECT_GT(report.clean_errors, 0u);
+}
+
+TEST(FaultInjection, BtpcRiceCampaignHoldsTheTrichotomy) {
+  const auto report = run_campaign(
+      probe_btpc, golden_btpc(32, 4, entropy::Backend::kRice), 15, 6, 1000);
+  EXPECT_TRUE(report.passed()) << report.summary();
+}
+
+TEST(FaultInjection, HyperspecExpGolombCampaignHoldsTheTrichotomy) {
+  const auto report = run_campaign(
+      probe_hyperspec, golden_hyperspec({4, 12, 12}, 16, entropy::Backend::kExpGolomb),
+      19, 7, 1000);
+  EXPECT_TRUE(report.passed()) << report.summary();
+  EXPECT_GT(report.clean_errors, 0u);
+}
+
+TEST(FaultInjection, HyperspecRansCampaignHoldsTheTrichotomy) {
+  const auto report = run_campaign(
+      probe_hyperspec, golden_hyperspec({4, 12, 12}, 16, entropy::Backend::kRans),
+      19, 8, 1000);
+  EXPECT_TRUE(report.passed()) << report.summary();
+  EXPECT_GT(report.clean_errors, 0u);
+}
+
+TEST(FaultInjection, EntropyExpGolombBatchCampaignHoldsTheTrichotomy) {
+  const auto report = run_campaign(
+      probe_entropy, golden_entropy(entropy::Backend::kExpGolomb, 21), 17, 9, 1000);
+  EXPECT_TRUE(report.passed()) << report.summary();
+  EXPECT_GT(report.clean_errors, 0u);
+}
+
+TEST(FaultInjection, EntropyRansBatchCampaignHoldsTheTrichotomy) {
+  const auto report = run_campaign(
+      probe_entropy, golden_entropy(entropy::Backend::kRans, 22), 17, 10, 1000);
+  EXPECT_TRUE(report.passed()) << report.summary();
+  EXPECT_GT(report.clean_errors, 0u);
 }
 
 TEST(FaultInjection, PristineContainersProbeBitExact) {
