@@ -16,6 +16,8 @@
 #include "graph/conflict_graph.hpp"
 #include "hyperspec/codec.hpp"
 #include "motion/estimator.hpp"
+#include "persist/app_container.hpp"
+#include "persist/profile_cache.hpp"
 #include "scbd/budget_distribution.hpp"
 #include "support/image.hpp"
 #include "support/rng.hpp"
@@ -23,6 +25,7 @@
 #include "trace/recorder.hpp"
 #include "workloads/hyperspec_workload.hpp"
 #include "workloads/motion_workload.hpp"
+#include "workloads/profile_store.hpp"
 #include "workloads/workload.hpp"
 
 namespace {
@@ -544,6 +547,45 @@ void BM_ExploreMultiWorkload(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(counts.size()));
 }
 BENCHMARK(BM_ExploreMultiWorkload)->Unit(benchmark::kMillisecond);
+
+// The persistence layer: APP1 serialize + hardened deserialize of a real
+// profiled model (what every cache store/load pays beyond the file I/O).
+void BM_PersistRoundTrip(benchmark::State& state) {
+  static const auto profiled = [] {
+    workloads::WorkloadOptions options;
+    options.profile_size = 64;
+    return workloads::find_workload("motion")->profile(options);
+  }();
+  for (auto _ : state) {
+    const auto bytes = persist::serialize(profiled);
+    auto back = persist::try_deserialize_application(bytes);
+    if (!back.ok()) state.SkipWithError("round trip failed");
+    benchmark::DoNotOptimize(back);
+  }
+}
+BENCHMARK(BM_PersistRoundTrip)->Unit(benchmark::kMicrosecond);
+
+// A profile-cache hit end-to-end (file read + integrity checks + parse) —
+// the cost a cached sweep pays instead of re-running the trace simulation.
+void BM_ProfileCacheHit(benchmark::State& state) {
+  static auto* cache = [] {
+    auto* opened = new persist::ProfileCache("/tmp/dtse_bench_profile_cache");
+    workloads::WorkloadOptions options;
+    options.profile_size = 64;
+    const auto* workload = workloads::find_workload("motion");
+    (void)workloads::profile_cached(*workload, options, opened);
+    return opened;
+  }();
+  workloads::WorkloadOptions options;
+  options.profile_size = 64;
+  const auto key = workloads::profile_cache_key("motion", options);
+  for (auto _ : state) {
+    auto hit = cache->load(key);
+    if (!hit.has_value()) state.SkipWithError("expected a cache hit");
+    benchmark::DoNotOptimize(hit);
+  }
+}
+BENCHMARK(BM_ProfileCacheHit)->Unit(benchmark::kMicrosecond);
 
 // The acceptance-criterion macro run: profile a 256x256 BTPC encode and feed
 // the model through one full evaluation.

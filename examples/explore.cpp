@@ -10,19 +10,27 @@
 // multi-workload Pareto front — the paper's "global" exploration extended
 // past a single demonstrator.
 //
-// Usage: explore [--size N] [workload ...]
+// With --cache-dir DIR profiled models are served from (and persisted to)
+// an integrity-checked on-disk cache: the second identical run skips the
+// trace simulations entirely and produces byte-identical exploration output.
+// Cache statistics go to stderr so stdout stays diffable across runs.
+//
+// Usage: explore [--size N] [--cache-dir DIR] [workload ...]
 //        explore --list
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/explorer.hpp"
 #include "core/pareto.hpp"
 #include "entropy/entropy_coder.hpp"
+#include "persist/profile_cache.hpp"
 #include "support/table.hpp"
+#include "workloads/profile_store.hpp"
 #include "workloads/workload.hpp"
 
 namespace {
@@ -54,7 +62,7 @@ void add_eval_row(Table& table, const std::string& label,
 }
 
 void print_usage() {
-  std::cout << "usage: explore [--size N] [workload ...]\n"
+  std::cout << "usage: explore [--size N] [--cache-dir DIR] [workload ...]\n"
                "       explore --list\n"
                "registered workloads:\n";
   for (const auto name : dtse::workloads::workload_names()) {
@@ -85,6 +93,7 @@ namespace {
 int run(int argc, char** argv) {
   dtse::workloads::WorkloadOptions workload_options;
   std::vector<const dtse::workloads::Workload*> selected;
+  std::optional<dtse::persist::ProfileCache> cache;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--list") == 0 || std::strcmp(argv[i], "--help") == 0) {
       print_usage();
@@ -101,6 +110,14 @@ int run(int argc, char** argv) {
         return 1;
       }
       workload_options.profile_size = size;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--cache-dir") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "--cache-dir requires a directory\n";
+        return 1;
+      }
+      cache.emplace(argv[++i]);
       continue;
     }
     const auto* workload = dtse::workloads::find_workload(argv[i]);
@@ -144,7 +161,8 @@ int run(int argc, char** argv) {
 
     dtse::ir::Application profiled("unprofiled");
     try {
-      profiled = workload->profile(workload_options);
+      profiled = dtse::workloads::profile_cached(*workload, workload_options,
+                                                 cache ? &*cache : nullptr);
     } catch (const std::exception& e) {
       all_golden = false;
       std::cout << "skipping '" << workload->name() << "': profiling failed: " << e.what()
@@ -226,7 +244,8 @@ int run(int argc, char** argv) {
         continue;
       }
       try {
-        const auto best = workload->tuned_variant(workload->profile(variant_options));
+        const auto best = workload->tuned_variant(dtse::workloads::profile_cached(
+            *workload, variant_options, cache ? &*cache : nullptr));
         const auto eval = explorer.evaluate(best, options);
         add_cost_row(roster_table, label, eval.summary, eval.feasible);
         tuned.emplace_back(label, best);
@@ -270,6 +289,12 @@ int run(int argc, char** argv) {
     add_cost_row(share_table, "= merged total", final_eval.merged.summary,
                  final_eval.merged.feasible);
     std::cout << share_table.to_string() << '\n';
+  }
+  if (cache) {
+    // stderr, so stdout is byte-identical between a cold and a warm run —
+    // CI diffs the two to prove cache hits change nothing.
+    std::cerr << "profile cache (" << cache->directory()
+              << "): " << cache->stats().to_string() << '\n';
   }
   return all_golden ? 0 : 1;
 }

@@ -1,0 +1,39 @@
+// libFuzzer target for the APP1 application-model container.
+//
+// Parses the untrusted bytes with the hardened deserializer; rejection must
+// be a clean Status (any escaping exception aborts via the unwinder).  On
+// acceptance the harness checks the two properties the persistence layer is
+// built on:
+//
+//  * canonical encoding — an accepted container re-serializes to the exact
+//    input bytes (this is what lets the profile cache fingerprint entries by
+//    their serialized form);
+//  * model integrity — the accepted model passes the full ir contract
+//    (`validate()` throwing here means the parser let bad data through).
+//
+// Built with clang this is a real libFuzzer binary (-fsanitize=fuzzer).
+// With DTSE_FUZZ_STANDALONE (the gcc fallback) it becomes a file-driven
+// replayer: `fuzz_persist_app corpus/*` runs every file once.
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "persist/app_container.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::vector<std::uint8_t> bytes(data, data + size);
+  auto parsed = dtse::persist::try_deserialize_application(bytes);
+  if (!parsed.ok()) return 0;
+
+  const auto& app = parsed.value();
+  app.validate();  // throws (-> abort) if the parser admitted a broken model
+
+  const auto reserialized = dtse::persist::serialize(app);
+  if (reserialized != bytes) std::abort();  // canonical-encoding violation
+  return 0;
+}
+
+#ifdef DTSE_FUZZ_STANDALONE
+#include "standalone_driver.inc"
+#endif

@@ -18,6 +18,8 @@
 #include "btpc/codec.hpp"
 #include "entropy/entropy_coder.hpp"
 #include "hyperspec/codec.hpp"
+#include "ir/application.hpp"
+#include "persist/app_container.hpp"
 #include "support/image.hpp"
 #include "support/rng.hpp"
 #include "testing/fault_injection.hpp"
@@ -50,6 +52,35 @@ void emit(const std::filesystem::path& dir, const std::string& stem,
   }
 }
 
+/// Small handcrafted application models spanning the APP1 feature space
+/// (forced locations, deps, co-accesses, reuse profiles).  Handcrafted
+/// rather than profiled: the corpus generator must stay fast, and the
+/// container does not care where a model came from.
+[[nodiscard]] dtse::ir::Application make_seed_model(int variant) {
+  using namespace dtse::ir;
+  Application app("seed-model-" + std::to_string(variant));
+  const auto frame = app.add_group({"frame", 1024u * (1u + variant), 8 + variant, {}, 2});
+  const auto line = app.add_group(
+      {"line", 64, 16, dtse::memlib::Location::kOnChip, 1});
+  LoopBody body;
+  body.name = "kernel";
+  body.iterations = 256 * (1 + variant);
+  body.accesses.push_back({frame, AccessKind::kRead, 4.0, 0.75, 0.9, 1.0});
+  body.accesses.push_back({line, AccessKind::kWrite, 1.0, 1.0, 1.0, 1.0});
+  if (variant > 0) {
+    body.accesses.push_back({line, AccessKind::kRead, 2.0, 0.5, 0.5, 2.0});
+    body.deps.emplace_back(0, 2);
+    body.co_accesses.push_back({0, 2, 0.25});
+  }
+  app.add_body(std::move(body));
+  ReuseProfile reuse;
+  reuse.windows.push_back({16, 900.0});
+  reuse.windows.push_back({64, 120.0});
+  if (variant > 1) reuse.windows.push_back({256, 10.0});
+  app.set_reuse_profile(frame, std::move(reuse));
+  return app;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -62,10 +93,12 @@ int main(int argc, char** argv) {
   const auto hs_dir = out / "hyperspec";
   const auto eg_dir = out / "entropy_expgolomb";
   const auto rans_dir = out / "entropy_rans";
+  const auto app_dir = out / "persist_app";
   std::filesystem::create_directories(btpc_dir);
   std::filesystem::create_directories(hs_dir);
   std::filesystem::create_directories(eg_dir);
   std::filesystem::create_directories(rans_dir);
+  std::filesystem::create_directories(app_dir);
 
   using dtse::support::SyntheticKind;
   // BTPC: both traversals hit the same stream; vary content, size, lossiness.
@@ -119,6 +152,13 @@ int main(int argc, char** argv) {
            dtse::entropy::serialize(dtse::entropy::encode_batch(backend, values, options)),
            17);
     }
+  }
+
+  // Persisted application models ("APP1") for the persistence fuzzer.
+  for (int variant = 0; variant < 3; ++variant) {
+    emit(app_dir, "seed" + std::to_string(variant),
+         dtse::persist::serialize(make_seed_model(variant)),
+         dtse::persist::kAppHeaderBytes);
   }
 
   std::cout << "corpus written under " << out << '\n';

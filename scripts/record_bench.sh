@@ -22,6 +22,7 @@ cmake --build "$BUILD_DIR" -j --target perf_microbench
 # compare gate pass on an empty intersection.
 for bench in BM_MotionEstimate BM_ExploreMotion BM_ExploreMultiWorkload \
              BM_HyperspecEncode BM_ProfiledFeedback256 \
+             BM_PersistRoundTrip BM_ProfileCacheHit \
              BM_BitWriterThroughput BM_BitReaderThroughput BM_EncodeLossless \
              BM_EntropyHuffman BM_EntropyRice BM_EntropyExpGolomb BM_EntropyRans; do
   if ! grep -q "\"$bench" "$OUT"; then

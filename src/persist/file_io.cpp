@@ -1,0 +1,90 @@
+#include "persist/file_io.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+namespace dtse::persist {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+[[nodiscard]] bool write_fd_durable(const std::string& path,
+                                    const std::vector<std::uint8_t>& bytes) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  std::size_t written = 0;
+  bool ok = true;
+  while (written < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ok = false;
+      break;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (ok && ::fsync(fd) != 0) ok = false;
+  if (::close(fd) != 0) ok = false;
+  return ok;
+}
+
+/// fsync on the parent directory makes the rename itself durable.
+void fsync_parent_directory(const std::string& path) {
+  const auto parent = fs::path(path).parent_path();
+  const std::string dir = parent.empty() ? "." : parent.string();
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);  // best-effort: some filesystems reject directory fsync
+  ::close(fd);
+}
+
+}  // namespace
+
+bool atomic_write_file(const std::string& path,
+                       const std::vector<std::uint8_t>& bytes) {
+  const std::string tmp = path + kTempSuffix;
+  if (!write_fd_durable(tmp, bytes)) {
+    std::error_code ec;
+    fs::remove(tmp, ec);
+    return false;
+  }
+  // POSIX rename is atomic: readers see either the old artifact or the new
+  // one, never a prefix.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::error_code ec;
+    fs::remove(tmp, ec);
+    return false;
+  }
+  fsync_parent_directory(path);
+  return true;
+}
+
+bool read_file_bytes(const std::string& path, std::uint64_t max_bytes,
+                     std::vector<std::uint8_t>& out) {
+  std::error_code ec;
+  const auto size = fs::file_size(path, ec);
+  if (ec || size > max_bytes) return false;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out.resize(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(out.data()), static_cast<std::streamsize>(size));
+  return in.gcount() == static_cast<std::streamsize>(size);
+}
+
+void quarantine_file(const std::string& path) {
+  const std::string target = path + kQuarantineSuffix;
+  if (std::rename(path.c_str(), target.c_str()) != 0) {
+    std::error_code ec;
+    fs::remove(path, ec);  // fall back to deletion so the bad artifact cannot recur
+  }
+}
+
+}  // namespace dtse::persist

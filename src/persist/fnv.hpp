@@ -1,0 +1,70 @@
+// FNV-1a 64-bit content hashing for the persistence layer.
+//
+// Every on-disk artifact this subsystem writes is fingerprinted: APP1
+// sections carry a content hash so silent corruption is detected before any
+// value is trusted, and the profile cache keys entries by a content hash of
+// the profiling request.  FNV-1a is not cryptographic — the threat model is
+// bit rot, torn writes and stale files, not an adversary forging entries —
+// but it is fast, streaming, and has no dependencies.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dtse::persist {
+
+/// Streaming FNV-1a 64.  Feed bytes / integers / strings, read `digest()`.
+/// Integers hash in big-endian byte order so digests match across hosts.
+class Fnv1a {
+ public:
+  static constexpr std::uint64_t kOffsetBasis = 14695981039346656037ULL;
+  static constexpr std::uint64_t kPrime = 1099511628211ULL;
+
+  void update(const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const std::uint8_t*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      digest_ ^= bytes[i];
+      digest_ *= kPrime;
+    }
+  }
+
+  void update_u8(std::uint8_t v) { update(&v, 1); }
+
+  void update_u64(std::uint64_t v) {
+    std::uint8_t be[8];
+    for (int i = 0; i < 8; ++i) be[i] = static_cast<std::uint8_t>(v >> (56 - 8 * i));
+    update(be, sizeof(be));
+  }
+
+  void update_string(std::string_view s) {
+    update_u64(s.size());  // length-prefixed: "ab"+"c" != "a"+"bc"
+    update(s.data(), s.size());
+  }
+
+  [[nodiscard]] std::uint64_t digest() const { return digest_; }
+
+ private:
+  std::uint64_t digest_ = kOffsetBasis;
+};
+
+/// One-shot convenience over a byte buffer.
+[[nodiscard]] inline std::uint64_t fnv1a(const void* data, std::size_t size) {
+  Fnv1a h;
+  h.update(data, size);
+  return h.digest();
+}
+
+/// Fixed-width lowercase hex rendering (cache entry file names).
+[[nodiscard]] inline std::string to_hex(std::uint64_t v) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+
+}  // namespace dtse::persist

@@ -1,0 +1,83 @@
+// Integrity-checked, crash-safe on-disk cache of profiled application models.
+//
+// Profiling a workload (trace simulation over millions of accesses) dominates
+// the cost of an exploration run, yet its result is a pure function of the
+// workload recipe.  `ProfileCache` persists each profiled `ir::Application`
+// as an APP1 container under a caller-supplied content-hash key, so repeated
+// sweeps skip straight to exploration.
+//
+// Trust model: the cache directory is *untrusted storage*, not untrusted
+// *intent* — entries may be truncated by a crash, bit-rotted, or written by
+// an older build, and none of that may ever abort a sweep.  Every load goes
+// through the hardened APP1 parser; an entry that fails is quarantined
+// (renamed to `<entry>.quarantined` for post-mortem) and reported as a miss,
+// so the caller transparently recomputes and overwrites it.
+//
+// Crash safety: `store` writes to a `.tmp` sibling, fsyncs it, atomically
+// renames it over the final name, then fsyncs the directory.  A reader can
+// never observe a half-written entry; a crash mid-store leaves at most a
+// `.tmp` file, which the constructor sweeps away.  All I/O failures are
+// absorbed into statistics — the cache is an accelerator, never a
+// correctness dependency.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "ir/application.hpp"
+
+namespace dtse::persist {
+
+/// File suffix of committed cache entries (APP1 containers).
+inline constexpr const char* kCacheEntrySuffix = ".app1";
+
+struct CacheOptions {
+  /// Maximum committed entries kept on disk; storing beyond this evicts the
+  /// oldest entries (by modification time).  0 disables eviction.
+  std::size_t max_entries = 256;
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;        ///< absent entries (first computation)
+  std::uint64_t stores = 0;        ///< successful commits
+  std::uint64_t quarantined = 0;   ///< corrupt/stale entries set aside
+  std::uint64_t evicted = 0;       ///< entries removed by the size cap
+  std::uint64_t store_failures = 0;  ///< commits that failed (disk full, ...)
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+class ProfileCache {
+ public:
+  /// Opens (creating if needed) the cache rooted at `directory` and removes
+  /// any `.tmp` leftovers from interrupted stores.  Never throws on I/O
+  /// trouble; a cache that cannot be opened degrades to all-miss.
+  explicit ProfileCache(std::string directory, CacheOptions options = {});
+
+  /// Looks up `key` (a file-name-safe token, e.g. 16 hex chars).  Returns
+  /// the cached model on an integrity-verified hit; `nullopt` on a miss or
+  /// after quarantining a bad entry.
+  [[nodiscard]] std::optional<ir::Application> load(const std::string& key);
+
+  /// Serializes `app` and commits it under `key` (write-temp + fsync +
+  /// atomic rename + directory fsync), then applies the eviction cap.
+  /// Returns false when the commit failed; the sweep continues either way.
+  bool store(const std::string& key, const ir::Application& app);
+
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+  [[nodiscard]] const std::string& directory() const { return directory_; }
+
+ private:
+  [[nodiscard]] std::string entry_path(const std::string& key) const;
+  void quarantine(const std::string& path);
+  void evict_over_cap();
+
+  std::string directory_;
+  CacheOptions options_;
+  CacheStats stats_;
+  bool usable_ = false;
+};
+
+}  // namespace dtse::persist

@@ -35,6 +35,8 @@ enum class MutationKind : std::uint8_t {
   kHeaderFuzz,    ///< rewrite bytes within the header region only
   kSplice,        ///< overwrite a span with bytes from another offset
   kRandom,        ///< replace the whole container with random bytes
+  kByteSwap,      ///< exchange two single bytes (torn out-of-order writes)
+  kSectionSplice, ///< swap two disjoint spans (sections landing misordered)
 };
 
 [[nodiscard]] const char* to_string(MutationKind kind);
@@ -67,6 +69,13 @@ enum class DecodeOutcome : std::uint8_t {
 /// backend the header selects.
 [[nodiscard]] DecodeOutcome probe_entropy(const std::vector<std::uint8_t>& bytes,
                                           const std::vector<std::uint8_t>& pristine);
+/// Probes the persisted application-model container ("APP1").  Equality is
+/// canonical-form equality: an accepted model re-serializes to the pristine
+/// bytes.  Because every APP1 section carries a content hash, campaigns
+/// against it see (almost) no bounded-output arm — content mutations are
+/// caught at the door as clean errors.
+[[nodiscard]] DecodeOutcome probe_app(const std::vector<std::uint8_t>& bytes,
+                                      const std::vector<std::uint8_t>& pristine);
 
 /// Aggregated campaign result.  `violations` carries one replay line per
 /// contract breach ("kind=bit-flip seed=123: threw ..."), empty on success.

@@ -2,15 +2,90 @@
 
 #include <utility>
 
+#include "persist/app_container.hpp"
+#include "persist/fnv.hpp"
+#include "persist/sweep_checkpoint.hpp"
 #include "support/check.hpp"
+#include "workloads/profile_store.hpp"
 
 namespace dtse::workloads {
+
+namespace {
+
+/// Rebuilds a sweep variant from a checkpointed row: the cost verdict is
+/// restored bit-exactly, the detailed scbd/allocation breakdowns are not
+/// persisted and stay default.
+[[nodiscard]] core::Variant variant_from_row(const persist::CheckpointRow& row,
+                                             const ir::Application& merged) {
+  core::Variant variant;
+  variant.label = row.label;
+  variant.app = merged;
+  variant.eval.summary = row.summary;
+  variant.eval.spare_cycles = row.spare_cycles;
+  variant.eval.feasible = row.feasible;
+  return variant;
+}
+
+/// The checkpointed sweep path: evaluate counts serially, restoring rows the
+/// checkpoint already holds and committing every newly completed clean row
+/// before the next point starts.
+void run_checkpointed_sweep(const ir::Application& merged,
+                            const core::Explorer& explorer,
+                            const std::vector<int>& counts,
+                            const core::ExplorerOptions& explorer_options,
+                            const std::string& checkpoint_path,
+                            SharedSweepResult& result) {
+  const auto fingerprint = sweep_fingerprint(merged, explorer_options);
+  auto checkpoint = persist::load_checkpoint(checkpoint_path, fingerprint)
+                        .value_or(persist::SweepCheckpoint{fingerprint, {}});
+
+  result.variants.reserve(counts.size());
+  for (const int count : counts) {
+    const persist::CheckpointRow* saved = nullptr;
+    for (const auto& row : checkpoint.rows) {
+      if (row.count == count) {
+        saved = &row;
+        break;
+      }
+    }
+    if (saved != nullptr) {
+      result.variants.push_back(variant_from_row(*saved, merged));
+      ++result.resumed;
+      continue;
+    }
+    auto fresh = explorer.explore_allocation_counts(merged, {count}, explorer_options);
+    DTSE_ASSERT(fresh.size() == 1, "single-count sweep returned an unexpected shape");
+    auto& variant = fresh.front();
+    // Only cleanly completed rows become durable: a degraded row (solver
+    // error, cancellation, time-out) must be re-evaluated on resume.
+    if (variant.eval.error.empty() && !variant.eval.timed_out) {
+      checkpoint.rows.push_back({count, variant.eval.feasible,
+                                 variant.eval.spare_cycles, variant.eval.summary,
+                                 variant.label});
+      persist::save_checkpoint(checkpoint_path, checkpoint);
+    }
+    result.variants.push_back(std::move(variant));
+  }
+}
+
+}  // namespace
+
+std::uint64_t sweep_fingerprint(const ir::Application& merged,
+                                const core::ExplorerOptions& options) {
+  const auto bytes = persist::serialize(merged);
+  persist::Fnv1a hash;
+  hash.update(bytes.data(), bytes.size());
+  hash.update_u64(options.real_time_budget_cycles);
+  hash.update_u64(options.storage_budget_cycles);
+  return hash.digest();
+}
 
 SharedSweepResult run_shared_sweep(const std::vector<const Workload*>& workloads,
                                    const WorkloadOptions& workload_options,
                                    const core::Explorer& explorer,
                                    const std::vector<int>& counts,
-                                   const core::ExplorerOptions& explorer_options) {
+                                   const core::ExplorerOptions& explorer_options,
+                                   const SweepPersistence& persistence) {
   DTSE_CHECK(!workloads.empty(), "shared sweep needs at least one workload");
 
   SharedSweepResult result;
@@ -34,7 +109,8 @@ SharedSweepResult run_shared_sweep(const std::vector<const Workload*>& workloads
         continue;
       }
       stage = "profile";
-      auto profiled = workload->profile(workload_options);
+      auto profiled =
+          profile_cached(*workload, workload_options, persistence.profile_cache);
       stage = "tuned_variant";
       tuned.push_back(workload->tuned_variant(profiled));
       result.survivors.push_back(name);
@@ -53,8 +129,18 @@ SharedSweepResult run_shared_sweep(const std::vector<const Workload*>& workloads
   for (std::size_t i = 0; i < result.survivors.size(); ++i) {
     merged_inputs.emplace_back(result.survivors[i], &tuned[i]);
   }
-  result.variants =
-      explorer.explore_shared_allocation_counts(merged_inputs, counts, explorer_options);
+
+  if (persistence.checkpoint_path.empty()) {
+    result.variants = explorer.explore_shared_allocation_counts(merged_inputs, counts,
+                                                                explorer_options);
+    return result;
+  }
+  // Checkpointed path: merge once (bit-identical to what
+  // explore_shared_allocation_counts does internally) so the fingerprint and
+  // the evaluations see the same model.
+  const auto merged = core::merge_applications(merged_inputs, "shared");
+  run_checkpointed_sweep(merged, explorer, counts, explorer_options,
+                         persistence.checkpoint_path, result);
   return result;
 }
 

@@ -8,12 +8,19 @@
 // golden check or an escaping exception) into a `WorkloadFailure` record,
 // and runs the sweep over the survivors.  The sweep result plus the failure
 // roster is always returned; the only fatal case is *zero* survivors.
+// Persistence (PR 8) makes the sweep restartable end-to-end: profiled
+// workload models come from an integrity-checked on-disk cache
+// (`persist::ProfileCache`) instead of being re-traced, and completed sweep
+// rows are checkpointed (`persist::SweepCheckpoint`) so a killed or
+// cancelled run resumes where it left off.  Both are opt-in via
+// `SweepPersistence` and both degrade to recomputation on any disk trouble.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "core/explorer.hpp"
+#include "persist/profile_cache.hpp"
 #include "workloads/workload.hpp"
 
 namespace dtse::workloads {
@@ -38,8 +45,28 @@ struct SharedSweepResult {
   std::vector<core::Variant> variants;
   std::vector<std::string> survivors;
   std::vector<WorkloadFailure> failures;
+  /// Sweep rows restored from a checkpoint instead of being re-evaluated
+  /// (always 0 when checkpointing is off).  Restored variants carry the
+  /// merged model, label, feasibility and cost triple of the original run;
+  /// the detailed scbd/allocation breakdowns are not persisted.
+  std::size_t resumed = 0;
 
   [[nodiscard]] bool complete() const { return failures.empty(); }
+};
+
+/// Opt-in persistence for a shared sweep.  Both members default to "off";
+/// any disk failure degrades to plain recomputation, never an abort.
+struct SweepPersistence {
+  /// Profile cache consulted (and filled) during the staging step; may be
+  /// null.  Keys follow the `profile_cache_key` contract (profile_store.hpp).
+  persist::ProfileCache* profile_cache = nullptr;
+  /// Checkpoint file for completed sweep rows; empty disables checkpointing.
+  /// The checkpoint binds to (merged model, cycle budgets) by content hash —
+  /// NOT to the count list, so a resumed sweep may add counts.  With
+  /// checkpointing on, sweep points run serially so every completed row is
+  /// durable before the next one starts, and the time budget applies per
+  /// point rather than per sweep.
+  std::string checkpoint_path;
 };
 
 /// Stages every workload (verify, profile, tuned_variant — each guarded),
@@ -49,8 +76,16 @@ struct SharedSweepResult {
 /// `failures` while the sweep still completes.  Null pointers are reported,
 /// not dereferenced.
 [[nodiscard]] SharedSweepResult run_shared_sweep(
-    const std::vector<const Workload*>& workloads, const WorkloadOptions& workload_options,
-    const core::Explorer& explorer, const std::vector<int>& counts,
-    const core::ExplorerOptions& explorer_options = {});
+    const std::vector<const Workload*>& workloads,
+    const WorkloadOptions& workload_options, const core::Explorer& explorer,
+    const std::vector<int>& counts,
+    const core::ExplorerOptions& explorer_options = {},
+    const SweepPersistence& persistence = {});
+
+/// Content hash binding a checkpoint to its sweep recipe: the serialized
+/// merged model plus the cycle budgets.  Exposed for tests that need to
+/// assert staleness behaviour.
+[[nodiscard]] std::uint64_t sweep_fingerprint(const ir::Application& merged,
+                                              const core::ExplorerOptions& options);
 
 }  // namespace dtse::workloads

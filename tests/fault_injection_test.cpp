@@ -6,11 +6,17 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <optional>
 #include <vector>
 
 #include "btpc/codec.hpp"
 #include "entropy/entropy_coder.hpp"
 #include "hyperspec/codec.hpp"
+#include "ir/application.hpp"
+#include "persist/app_container.hpp"
+#include "persist/profile_cache.hpp"
 #include "support/image.hpp"
 #include "support/rng.hpp"
 #include "testing/fault_injection.hpp"
@@ -53,7 +59,8 @@ TEST(Mutators, AreDeterministicAndNeverIdentity) {
   const auto bytes = golden_btpc(24, 1);
   for (const auto kind :
        {MutationKind::kBitFlip, MutationKind::kMultiBitFlip, MutationKind::kTruncate,
-        MutationKind::kHeaderFuzz, MutationKind::kSplice, MutationKind::kRandom}) {
+        MutationKind::kHeaderFuzz, MutationKind::kSplice, MutationKind::kRandom,
+        MutationKind::kByteSwap, MutationKind::kSectionSplice}) {
     for (std::uint64_t seed = 1; seed <= 8; ++seed) {
       const auto a = mutate(bytes, kind, seed, 14);
       const auto b = mutate(bytes, kind, seed, 14);
@@ -150,6 +157,103 @@ TEST(FaultInjection, PristineContainersProbeBitExact) {
   EXPECT_EQ(probe_btpc(btpc_bytes, btpc_bytes), DecodeOutcome::kBitExact);
   const auto hs_bytes = golden_hyperspec({2, 6, 6}, 16);
   EXPECT_EQ(probe_hyperspec(hs_bytes, hs_bytes), DecodeOutcome::kBitExact);
+}
+
+// --- the persisted application container ("APP1") ---------------------------
+
+ir::Application golden_model(int bodies) {
+  ir::Application app("campaign-model");
+  const auto frame = app.add_group({"frame", 2048, 8, {}, 2});
+  const auto line = app.add_group({"line", 96, 16, memlib::Location::kOnChip, 1});
+  for (int b = 0; b < bodies; ++b) {
+    ir::LoopBody body;
+    body.name = "body" + std::to_string(b);
+    body.iterations = 128u * (b + 1);
+    body.accesses.push_back({frame, ir::AccessKind::kRead, 3.0, 0.5, 0.75, 1.0});
+    body.accesses.push_back({line, ir::AccessKind::kWrite, 1.0, 1.0, 1.0, 1.0});
+    body.deps.emplace_back(0, 1);
+    app.add_body(std::move(body));
+  }
+  ir::ReuseProfile reuse;
+  reuse.windows.push_back({32, 640.0});
+  reuse.windows.push_back({128, 48.0});
+  app.set_reuse_profile(frame, std::move(reuse));
+  return app;
+}
+
+std::vector<std::uint8_t> golden_app(int bodies) {
+  return persist::serialize(golden_model(bodies));
+}
+
+// Unlike the codec campaigns, APP1 carries a content hash per section, so
+// (almost) every content mutation is *caught* rather than decoded into a
+// bounded output — the campaigns assert clean errors, not bounded outputs.
+
+TEST(FaultInjection, AppContainerCampaignHoldsTheTrichotomy) {
+  const auto report = run_campaign(probe_app, golden_app(2),
+                                   persist::kAppHeaderBytes, 11, 1000);
+  EXPECT_TRUE(report.passed()) << report.summary();
+  EXPECT_GT(report.probes, 1000u);
+  EXPECT_GT(report.clean_errors, 0u);
+}
+
+TEST(FaultInjection, AppContainerLargeModelCampaignHoldsTheTrichotomy) {
+  const auto report = run_campaign(probe_app, golden_app(6),
+                                   persist::kAppHeaderBytes, 12, 1000);
+  EXPECT_TRUE(report.passed()) << report.summary();
+  EXPECT_GT(report.clean_errors, 0u);
+}
+
+TEST(FaultInjection, AppContainerProbesPristineBitExact) {
+  const auto bytes = golden_app(2);
+  EXPECT_EQ(probe_app(bytes, bytes), DecodeOutcome::kBitExact);
+}
+
+// On-disk campaign: mutants are planted as committed cache entries and read
+// back through the full ProfileCache path.  The cache must never throw —
+// every corrupted entry either still parses bit-exact (the mutation missed
+// the entry's meaning) or is quarantined as a miss.
+TEST(FaultInjection, OnDiskCacheEntriesSurviveAMutationCampaign) {
+  const auto dir =
+      std::filesystem::path(::testing::TempDir()) / "fault_injection_cache";
+  std::filesystem::remove_all(dir);
+  persist::ProfileCache cache(dir.string());
+  const auto model = golden_model(2);
+  const auto pristine = persist::serialize(model);
+  const std::string key = "0123456789abcdef";
+  const auto entry = dir / (key + std::string(persist::kCacheEntrySuffix));
+
+  constexpr MutationKind kKinds[] = {
+      MutationKind::kBitFlip,  MutationKind::kMultiBitFlip,
+      MutationKind::kTruncate, MutationKind::kHeaderFuzz,
+      MutationKind::kSplice,   MutationKind::kRandom,
+      MutationKind::kByteSwap, MutationKind::kSectionSplice};
+  std::uint64_t hits = 0;
+  std::uint64_t quarantines = 0;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const auto mutant =
+        mutate(pristine, kKinds[i % std::size(kKinds)], 1000 + i,
+               persist::kAppHeaderBytes);
+    {
+      std::ofstream out(entry, std::ios::binary);
+      out.write(reinterpret_cast<const char*>(mutant.data()),
+                static_cast<std::streamsize>(mutant.size()));
+      ASSERT_TRUE(out.good());
+    }
+    const auto before = cache.stats().quarantined;
+    std::optional<ir::Application> loaded;
+    ASSERT_NO_THROW(loaded = cache.load(key)) << "mutation " << i;
+    if (loaded.has_value()) {
+      // A surviving entry must be the pristine model, bit-for-bit.
+      EXPECT_EQ(persist::serialize(*loaded), pristine) << "mutation " << i;
+      ++hits;
+    } else {
+      EXPECT_EQ(cache.stats().quarantined, before + 1) << "mutation " << i;
+      ++quarantines;
+    }
+  }
+  EXPECT_EQ(hits + quarantines, 200u);
+  EXPECT_GT(quarantines, 0u);
 }
 
 TEST(FaultInjection, CampaignIsDeterministic) {
