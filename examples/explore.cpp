@@ -15,11 +15,19 @@
 // trace simulations entirely and produces byte-identical exploration output.
 // Cache statistics go to stderr so stdout stays diffable across runs.
 //
-// Usage: explore [--size N] [--cache-dir DIR] [workload ...]
+// Telemetry rides along without touching stdout: --trace-out FILE dumps the
+// run's Chrome trace (load it in chrome://tracing or Perfetto) and
+// --report-out FILE writes the versioned machine-readable run report —
+// roster, sweep points, Pareto front, solver convergence, cache stats and
+// the metrics snapshot.
+//
+// Usage: explore [--size N] [--cache-dir DIR] [--trace-out FILE]
+//                [--report-out FILE] [workload ...]
 //        explore --list
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -28,6 +36,8 @@
 #include "core/explorer.hpp"
 #include "core/pareto.hpp"
 #include "entropy/entropy_coder.hpp"
+#include "obs/run_report.hpp"
+#include "obs/telemetry.hpp"
 #include "persist/profile_cache.hpp"
 #include "support/table.hpp"
 #include "workloads/profile_store.hpp"
@@ -62,7 +72,8 @@ void add_eval_row(Table& table, const std::string& label,
 }
 
 void print_usage() {
-  std::cout << "usage: explore [--size N] [--cache-dir DIR] [workload ...]\n"
+  std::cout << "usage: explore [--size N] [--cache-dir DIR] [--trace-out FILE]\n"
+               "               [--report-out FILE] [workload ...]\n"
                "       explore --list\n"
                "registered workloads:\n";
   for (const auto name : dtse::workloads::workload_names()) {
@@ -94,6 +105,8 @@ int run(int argc, char** argv) {
   dtse::workloads::WorkloadOptions workload_options;
   std::vector<const dtse::workloads::Workload*> selected;
   std::optional<dtse::persist::ProfileCache> cache;
+  std::string trace_out;
+  std::string report_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--list") == 0 || std::strcmp(argv[i], "--help") == 0) {
       print_usage();
@@ -120,6 +133,22 @@ int run(int argc, char** argv) {
       cache.emplace(argv[++i]);
       continue;
     }
+    if (std::strcmp(argv[i], "--trace-out") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "--trace-out requires a file path\n";
+        return 1;
+      }
+      trace_out = argv[++i];
+      continue;
+    }
+    if (std::strcmp(argv[i], "--report-out") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "--report-out requires a file path\n";
+        return 1;
+      }
+      report_out = argv[++i];
+      continue;
+    }
     const auto* workload = dtse::workloads::find_workload(argv[i]);
     if (workload == nullptr) {
       std::cerr << "unknown workload '" << argv[i] << "'\n";
@@ -140,6 +169,11 @@ int run(int argc, char** argv) {
   dtse::core::ExplorerOptions options;
   const std::vector<int> counts = {4, 5, 8, 10, 14};
 
+  // The run report rides along the whole run; populating it is pure
+  // bookkeeping (no clocks, no solver effects), so counters and stdout stay
+  // identical whether or not --report-out was given.
+  dtse::obs::RunReport report;
+
   // Tuned per-workload models, kept alive for the shared sweep below.
   std::vector<std::pair<std::string, dtse::ir::Application>> tuned;
 
@@ -153,6 +187,8 @@ int run(int argc, char** argv) {
     // reported with their stage and the loop moves on.
     const auto golden = workload->verify(workload_options);
     std::cout << "Golden kernel check: " << golden.to_string() << '\n';
+    report.workloads.push_back(
+        {std::string(workload->name()), golden.passed, golden.to_string()});
     if (!golden.passed) {
       all_golden = false;
       std::cout << "skipping '" << workload->name() << "': broken kernel\n\n";
@@ -193,6 +229,8 @@ int run(int argc, char** argv) {
                             Table::num(point.eval.summary.onchip_area_mm2),
                             Table::num(point.eval.summary.onchip_power_mw),
                             Table::num(point.eval.summary.offchip_power_mw)});
+      report.add_point("cycle_budget/" + std::string(workload->name()),
+                       std::to_string(point.requested_budget), point.eval);
     }
     std::cout << budget_table.to_string() << '\n';
 
@@ -201,6 +239,7 @@ int run(int argc, char** argv) {
     auto alloc_table = cost_table("Version");
     for (const auto& variant : allocations) {
       add_eval_row(alloc_table, variant.label, variant.eval);
+      report.add_point("alloc/" + std::string(workload->name()), variant);
     }
     std::cout << alloc_table.to_string() << '\n'
               << dtse::core::pareto_report(allocations) << '\n';
@@ -248,6 +287,7 @@ int run(int argc, char** argv) {
             *workload, variant_options, cache ? &*cache : nullptr));
         const auto eval = explorer.evaluate(best, options);
         add_cost_row(roster_table, label, eval.summary, eval.feasible);
+        report.add_point("roster/" + std::string(sweep.workload), label, eval);
         tuned.emplace_back(label, best);
       } catch (const std::exception& e) {
         all_golden = false;
@@ -272,6 +312,11 @@ int run(int argc, char** argv) {
     auto shared_table = cost_table("Shared organization");
     for (const auto& variant : shared) {
       add_eval_row(shared_table, variant.label, variant.eval);
+      report.add_point("shared", variant);
+      report.add_convergence("shared/" + variant.label, variant.eval);
+    }
+    for (const auto index : dtse::core::pareto_front(shared)) {
+      report.pareto_front.push_back(shared[index].label);
     }
     std::cout << shared_table.to_string() << '\n'
               << "Multi-workload Pareto front:\n"
@@ -280,6 +325,8 @@ int run(int argc, char** argv) {
     // Who pays for the sharing: the same merged assignment re-priced per
     // workload prefix; the marginal rows sum bit-exactly to the merged triple.
     const auto final_eval = explorer.evaluate_shared_per_workload(apps, options);
+    report.add_point("shared", "final", final_eval.merged);
+    report.add_convergence("shared/final", final_eval.merged);
     std::cout << "Shared organization summary: " << final_eval.merged.to_string()
               << "\n\nPer-workload attribution (registration order):\n";
     auto share_table = cost_table("Workload (marginal)");
@@ -290,11 +337,32 @@ int run(int argc, char** argv) {
                  final_eval.merged.feasible);
     std::cout << share_table.to_string() << '\n';
   }
+  auto& registry = dtse::obs::TelemetryRegistry::global();
+  report.metrics = registry.snapshot();
+  report.cache = dtse::obs::cache_stats_from(report.metrics);
   if (cache) {
     // stderr, so stdout is byte-identical between a cold and a warm run —
-    // CI diffs the two to prove cache hits change nothing.
+    // CI diffs the two to prove cache hits change nothing.  The stats come
+    // from the telemetry registry (the cache mirrors every event into it),
+    // the same source the run report's "cache" section uses.
     std::cerr << "profile cache (" << cache->directory()
-              << "): " << cache->stats().to_string() << '\n';
+              << "): " << report.cache.to_string() << '\n';
+  }
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out);
+    if (!out) {
+      std::cerr << "cannot open --trace-out file '" << trace_out << "'\n";
+      return 1;
+    }
+    registry.write_chrome_trace(out);
+  }
+  if (!report_out.empty()) {
+    std::ofstream out(report_out);
+    if (!out) {
+      std::cerr << "cannot open --report-out file '" << report_out << "'\n";
+      return 1;
+    }
+    report.write_json(out);
   }
   return all_golden ? 0 : 1;
 }

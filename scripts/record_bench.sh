@@ -24,7 +24,8 @@ for bench in BM_MotionEstimate BM_ExploreMotion BM_ExploreMultiWorkload \
              BM_HyperspecEncode BM_ProfiledFeedback256 \
              BM_PersistRoundTrip BM_ProfileCacheHit \
              BM_BitWriterThroughput BM_BitReaderThroughput BM_EncodeLossless \
-             BM_EntropyHuffman BM_EntropyRice BM_EntropyExpGolomb BM_EntropyRans; do
+             BM_EntropyHuffman BM_EntropyRice BM_EntropyExpGolomb BM_EntropyRans \
+             BM_TelemetryOverhead; do
   if ! grep -q "\"$bench" "$OUT"; then
     echo "error: $OUT is missing $bench — incomplete trajectory point" >&2
     exit 1

@@ -112,6 +112,9 @@ AllocationResult MemoryAllocator::allocate(const ir::Application& app,
 
   result.requested_memories = best_n;
   result.search_nodes = best.nodes_explored;
+  result.accepted_moves = best.accepted_moves;
+  result.reheats = best.reheats;
+  result.sa_chains = std::move(best.chains);
   result.feasible = best.feasible &&
                     std::all_of(result.offchip.begin(), result.offchip.end(),
                                 [](const OffchipChannel& c) { return c.selection.feasible; });

@@ -47,6 +47,11 @@ struct AllocationResult {
   bool feasible = false;
   int requested_memories = 0;   ///< the N that was asked for
   std::uint64_t search_nodes = 0;
+  std::uint64_t accepted_moves = 0;  ///< SA only: kept moves across all chains
+  std::uint64_t reheats = 0;         ///< SA only: temperature resets across chains
+  /// SA only: the winning solve's per-chain convergence telemetry (empty for
+  /// B&B/greedy solves); flows into the obs/ run report.
+  std::vector<ChainStats> sa_chains;
 
   [[nodiscard]] std::string to_string(const ir::Application& app) const;
 };

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "alloc/incremental_cost.hpp"
+#include "obs/telemetry.hpp"
 #include "support/check.hpp"
 #include "support/parallel.hpp"
 #include "support/rng.hpp"
@@ -82,6 +83,14 @@ class BranchAndBound {
     assignment_.assign(problem_.group_count(), -1);
     recurse(0, 0);
     best_.nodes_explored = nodes_;
+    // Search-shape telemetry: totals only, bumped once per run — all three
+    // are pure functions of (problem, memory_count, weights), so the
+    // registry stays deterministic at any sweep parallelism.
+    auto& registry = obs::TelemetryRegistry::global();
+    registry.counter("solver.bb.runs").add(1);
+    registry.counter("solver.bb.nodes").add(nodes_);
+    registry.counter("solver.bb.pruned").add(pruned_);
+    registry.counter("solver.bb.incumbents").add(incumbents_);
     return best_;
   }
 
@@ -104,6 +113,7 @@ class BranchAndBound {
         best_.assignment = assignment_;
         best_.summary = {state_.area, state_.power, 0.0};
         best_.feasible = true;
+        ++incumbents_;
       }
       return;
     }
@@ -111,7 +121,10 @@ class BranchAndBound {
     // unplaced groups (their area is not bounded below except by 0).
     const double bound = options_.weights.area_weight * state_.area +
                          options_.weights.power_weight * (state_.power + remainder_[depth]);
-    if (bound >= best_.scalar_cost) return;
+    if (bound >= best_.scalar_cost) {
+      ++pruned_;
+      return;
+    }
 
     const std::size_t group = order_[depth];
     // Symmetry breaking: a group may open at most one new memory.
@@ -151,6 +164,8 @@ class BranchAndBound {
   std::vector<int> assignment_;
   AssignmentSolution best_;
   std::uint64_t nodes_ = 0;
+  std::uint64_t pruned_ = 0;      ///< subtrees cut by the admissible bound
+  std::uint64_t incumbents_ = 0;  ///< times the best solution improved
   bool cancelled_ = false;
 };
 
@@ -214,6 +229,9 @@ AssignmentSolution solve_greedy(const AssignmentProblem& problem, int memory_cou
   solution.scalar_cost = options.weights.scalarize(*summary);
   solution.feasible = true;
   solution.nodes_explored = evaluations;
+  auto& registry = obs::TelemetryRegistry::global();
+  registry.counter("solver.greedy.runs").add(1);
+  registry.counter("solver.greedy.evaluations").add(evaluations);
   return solution;
 }
 
@@ -221,11 +239,12 @@ AssignmentSolution solve_greedy(const AssignmentProblem& problem, int memory_cou
 /// from the options seed and the chain index), derives its start per
 /// `SolverOptions::sa_start`, and evaluates moves through the incremental
 /// cost engine — a move re-costs only the two memories it touches.
+/// `stats` carries the chain's convergence telemetry (totals plus the
+/// iteration-stride-sampled series — deterministic, no wall-clock anywhere).
 struct ChainOutcome {
   std::vector<int> best_assignment;
   double best_cost = std::numeric_limits<double>::max();
-  std::uint64_t moves = 0;
-  std::uint64_t accepted = 0;
+  ChainStats stats;
 };
 
 /// Diversifies `state` away from the greedy start it was reset with.  Start
@@ -278,10 +297,20 @@ ChainOutcome anneal_chain(const AssignmentProblem& problem, int memory_count,
   out.best_assignment = state.assignment();
   out.best_cost = state.scalar_cost();
   double current = state.scalar_cost();
+  out.stats.start_cost = current;
 
   support::Rng rng(options.seed + 0x9E3779B97F4A7C15ULL * (chain + 1));
   double temperature = sa_start_temperature(current, options);
   const double decay = std::pow(1e-3, 1.0 / static_cast<double>(std::max(1, iterations)));
+
+  // Convergence sampling: a fixed iteration stride (~64 samples per chain),
+  // so the series is a pure function of (seed, chain, iterations) — never of
+  // wall-clock or scheduling.
+  const int stride = std::max(1, iterations / 64);
+  const auto sample = [&](int it) {
+    out.stats.convergence.push_back({it, temperature, current, out.best_cost,
+                                     out.stats.accepted, out.stats.reheats});
+  };
 
   // Reheating schedule: `stagnant` counts consecutive iterations without an
   // accepted move (rejected, infeasible and no-op proposals alike); reaching
@@ -289,6 +318,7 @@ ChainOutcome anneal_chain(const AssignmentProblem& problem, int memory_count,
   // chain resumes exploring instead of freezing in place.
   const int reheat_after = options.sa_reheat_stagnation;
   int stagnant = 0;
+  int completed = 0;
   for (int it = 0; it < iterations; ++it, temperature *= decay) {
     // Poll every 512 moves: the chain stops with its best-so-far, which can
     // never be worse than the start it was given.
@@ -298,12 +328,15 @@ ChainOutcome anneal_chain(const AssignmentProblem& problem, int memory_count,
     if (reheat_after > 0 && stagnant >= reheat_after) {
       temperature = sa_start_temperature(current, options);
       stagnant = 0;
+      ++out.stats.reheats;
     }
+    if (it % stride == 0) sample(it);
+    completed = it + 1;
     ++stagnant;
     const auto group = static_cast<std::size_t>(rng.below(problem.group_count()));
     const int new_m = static_cast<int>(rng.below(static_cast<std::uint64_t>(memory_count)));
     if (new_m == state.assignment()[group]) continue;
-    ++out.moves;
+    ++out.stats.moves;
     const auto cost = state.apply(group, new_m);
     if (!cost) continue;  // needs a third port; state unchanged
     const double delta = *cost - current;
@@ -313,7 +346,7 @@ ChainOutcome anneal_chain(const AssignmentProblem& problem, int memory_count,
       state.revert();
       continue;
     }
-    ++out.accepted;
+    ++out.stats.accepted;
     stagnant = 0;
     current = *cost;
     if (current < out.best_cost) {
@@ -321,6 +354,8 @@ ChainOutcome anneal_chain(const AssignmentProblem& problem, int memory_count,
       out.best_assignment = state.assignment();
     }
   }
+  sample(completed);  // closing sample so the series always ends at the final state
+  out.stats.best_cost = out.best_cost;
   return out;
 }
 
@@ -366,11 +401,13 @@ AssignmentSolution solve_annealing(const AssignmentProblem& problem, int memory_
   AssignmentSolution best = start;
   std::uint64_t moves = 0;
   std::uint64_t accepted = 0;
+  std::uint64_t reheats = 0;
   const ChainOutcome* winner = nullptr;
   double winning_cost = start.scalar_cost;
   for (const auto& outcome : outcomes) {
-    moves += outcome.moves;
-    accepted += outcome.accepted;
+    moves += outcome.stats.moves;
+    accepted += outcome.stats.accepted;
+    reheats += outcome.stats.reheats;
     if (outcome.best_cost < winning_cost) {
       winning_cost = outcome.best_cost;
       winner = &outcome;
@@ -385,6 +422,18 @@ AssignmentSolution solve_annealing(const AssignmentProblem& problem, int memory_
   }
   best.nodes_explored = moves;
   best.accepted_moves = accepted;
+  best.reheats = reheats;
+  best.chains.reserve(chains);
+  for (auto& outcome : outcomes) best.chains.push_back(std::move(outcome.stats));
+
+  auto& registry = obs::TelemetryRegistry::global();
+  registry.counter("solver.sa.runs").add(1);
+  registry.counter("solver.sa.moves").add(moves);
+  registry.counter("solver.sa.accepted").add(accepted);
+  registry.counter("solver.sa.reheats").add(reheats);
+  for (const auto& chain : best.chains) {
+    registry.histogram("solver.sa.chain_accepted").observe(chain.accepted);
+  }
   return best;
 }
 

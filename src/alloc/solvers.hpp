@@ -97,13 +97,43 @@ struct SolverOptions {
   const support::CancellationToken* cancel = nullptr;
 };
 
+/// One sampled point of an annealing chain's convergence trajectory.  The
+/// series is a pure function of (seed, chain, iterations): sampling happens
+/// at a fixed iteration stride, never on wall-clock, so traces are
+/// bit-identical across reruns and `sa_parallelism` settings.
+struct ConvergenceSample {
+  int iteration = 0;
+  double temperature = 0.0;
+  double current_cost = 0.0;
+  double best_cost = 0.0;
+  std::uint64_t accepted = 0;  ///< cumulative accepted moves at this sample
+  std::uint64_t reheats = 0;   ///< cumulative temperature resets at this sample
+};
+
+/// Per-chain annealing telemetry: totals plus the sampled convergence
+/// series.  Surfaced through `AssignmentSolution::chains` so drivers (the
+/// obs/ run report, tests) can ask "why did chain 3 converge late" without
+/// re-running the solver.
+struct ChainStats {
+  std::uint64_t moves = 0;     ///< proposed moves (excluding same-memory no-ops)
+  std::uint64_t accepted = 0;  ///< moves that were kept
+  std::uint64_t reheats = 0;   ///< temperature resets (sa_reheat_stagnation)
+  double start_cost = 0.0;     ///< scalar cost of the (diversified) start
+  double best_cost = 0.0;      ///< best scalar cost the chain reached
+  std::vector<ConvergenceSample> convergence;
+};
+
 struct AssignmentSolution {
   std::vector<int> assignment;   ///< memory index per problem-local group
   memlib::CostSummary summary;   ///< on-chip area/power of the assignment
   double scalar_cost = 0.0;
   bool feasible = false;
   std::uint64_t nodes_explored = 0;  ///< search effort (B&B nodes / SA moves)
-  std::uint64_t accepted_moves = 0;  ///< SA only: moves that were kept
+  std::uint64_t accepted_moves = 0;  ///< SA only: kept moves across all chains
+  std::uint64_t reheats = 0;         ///< SA only: temperature resets across chains
+  /// SA only: per-chain stats and convergence series, chain index order
+  /// (empty for B&B/greedy solves).
+  std::vector<ChainStats> chains;
 };
 
 /// Initial annealing temperature for a chain starting at `start_cost`: a few

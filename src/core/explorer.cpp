@@ -5,6 +5,7 @@
 #include <limits>
 #include <sstream>
 
+#include "obs/telemetry.hpp"
 #include "support/check.hpp"
 #include "support/parallel.hpp"
 
@@ -140,6 +141,7 @@ Evaluation Explorer::evaluate(const ir::Application& app,
                               const ExplorerOptions& options) const {
   DTSE_CHECK(options.storage_budget_cycles <= options.real_time_budget_cycles,
              "storage budget cannot exceed the real-time budget");
+  obs::TelemetryRegistry::global().counter("explore.evaluations").add(1);
   Evaluation eval;
 
   auto scbd_options = options.scbd;
@@ -199,6 +201,8 @@ std::vector<Variant> Explorer::explore_variants(
   support::parallel_for(variants.size(), options.parallelism, [&](std::size_t i) {
     auto& [label, app] = variants[i];
     result[i].label = std::move(label);
+    obs::Span span(&obs::TelemetryRegistry::global(),
+                   "explore.variant/" + result[i].label, "explore");
     guarded_sweep_point(result[i].eval, deadline,
                         [&] { result[i].eval = evaluate(app, eval_options); });
     result[i].app = std::move(app);
@@ -219,6 +223,8 @@ std::vector<BudgetPoint> Explorer::explore_cycle_budgets(
     point_options.storage_budget_cycles = budgets[i];
     BudgetPoint point;
     point.requested_budget = budgets[i];
+    obs::Span span(&obs::TelemetryRegistry::global(),
+                   "explore.cycle_budget/" + std::to_string(budgets[i]), "explore");
     guarded_sweep_point(point.eval, deadline,
                         [&] { point.eval = evaluate(app, point_options); });
     point.used_cycles = point.eval.scbd.used_cycles;
@@ -263,6 +269,10 @@ SharedEvaluation Explorer::evaluate_shared_per_workload(
 
   SharedEvaluation result;
   result.merged = evaluate(merged, options);
+
+  obs::Span span(&obs::TelemetryRegistry::global(), "explore.shared_attribution",
+                 "explore");
+  span.arg("workloads", static_cast<double>(apps.size()));
 
   // The same assignment problem the allocator priced the winning assignment
   // on: same on-chip partition, same conflict graph, same frame cycles
@@ -314,6 +324,9 @@ std::vector<Variant> Explorer::explore_allocation_counts(
     auto count_options = eval_options;
     count_options.allocation.onchip_memories = counts[i];
     result[i].label = std::to_string(counts[i]) + " on-chip memories";
+    obs::Span span(&obs::TelemetryRegistry::global(),
+                   "explore.alloc/" + app.name() + "/" + std::to_string(counts[i]),
+                   "explore");
     guarded_sweep_point(result[i].eval, deadline,
                         [&] { result[i].eval = evaluate(app, count_options); });
     result[i].app = app;

@@ -1,0 +1,140 @@
+// Minimal streaming JSON writer for the telemetry exporters.
+//
+// The Chrome-trace and run-report exporters emit JSON that external tools
+// (chrome://tracing, Perfetto, `scripts/check_report.py`) must parse, so the
+// writer owns the two things hand-rolled `<<` chains always get wrong:
+// string escaping and comma placement.  Output is deterministic: keys are
+// written in caller order, doubles print with round-trip precision ("%.17g",
+// so equal doubles always render to equal bytes) and non-finite values —
+// which no cost model should produce — degrade to `null` instead of emitting
+// the invalid tokens `inf`/`nan`.
+//
+// Usage is push-style; the writer tracks nesting and inserts commas:
+//
+//   JsonWriter json(os);
+//   json.begin_object();
+//   json.key("version"); json.value(std::uint64_t{1});
+//   json.key("points"); json.begin_array(); ... json.end_array();
+//   json.end_object();
+#pragma once
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace dtse::obs {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void begin_object() {
+    separate();
+    os_ << '{';
+    stack_.push_back(true);
+  }
+  void end_object() {
+    stack_.pop_back();
+    os_ << '}';
+  }
+  void begin_array() {
+    separate();
+    os_ << '[';
+    stack_.push_back(true);
+  }
+  void end_array() {
+    stack_.pop_back();
+    os_ << ']';
+  }
+
+  /// Writes `"name":`; the next value (or container) attaches to it.
+  void key(std::string_view name) {
+    separate();
+    write_string(name);
+    os_ << ':';
+    have_key_ = true;
+  }
+
+  void value(std::string_view text) {
+    separate();
+    write_string(text);
+  }
+  void value(const char* text) { value(std::string_view(text)); }
+  void value(bool flag) {
+    separate();
+    os_ << (flag ? "true" : "false");
+  }
+  void value(std::uint64_t number) {
+    separate();
+    char buffer[24];
+    std::snprintf(buffer, sizeof(buffer), "%" PRIu64, number);
+    os_ << buffer;
+  }
+  void value(std::int64_t number) {
+    separate();
+    char buffer[24];
+    std::snprintf(buffer, sizeof(buffer), "%" PRId64, number);
+    os_ << buffer;
+  }
+  void value(int number) { value(static_cast<std::int64_t>(number)); }
+  void value(double number) {
+    separate();
+    if (!std::isfinite(number)) {
+      os_ << "null";
+      return;
+    }
+    char buffer[40];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", number);
+    os_ << buffer;
+  }
+
+ private:
+  /// Emits the comma between container elements; a value right after `key`
+  /// never takes one.
+  void separate() {
+    if (have_key_) {
+      have_key_ = false;
+      return;
+    }
+    if (stack_.empty()) return;
+    if (!stack_.back()) os_ << ',';
+    stack_.back() = false;
+  }
+
+  void write_string(std::string_view text) {
+    os_ << '"';
+    for (const char c : text) {
+      switch (c) {
+        case '"': os_ << "\\\""; break;
+        case '\\': os_ << "\\\\"; break;
+        case '\n': os_ << "\\n"; break;
+        case '\r': os_ << "\\r"; break;
+        case '\t': os_ << "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buffer[8];
+            std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            os_ << buffer;
+          } else {
+            os_ << c;
+          }
+      }
+    }
+    os_ << '"';
+  }
+
+  std::ostream& os_;
+  /// One flag per open container: true until the first element is written.
+  std::vector<bool> stack_;
+  bool have_key_ = false;
+};
+
+}  // namespace dtse::obs

@@ -1,0 +1,85 @@
+// Versioned machine-readable run report for the exploration driver.
+//
+// `examples/explore --report-out report.json` caps a run with one JSON
+// document downstream tooling can diff and gate on: the workload roster with
+// golden verdicts, every sweep point's cost triple, the multi-workload
+// Pareto front, the winning solver's per-chain convergence series, the
+// profile-cache statistics and the full metrics snapshot.
+//
+// Determinism contract: everything in the report except the snapshot's
+// `timings` section (and the `duration_us`/`total_us` values inside it) is a
+// pure function of the run configuration — `scripts/check_report.py diff`
+// normalizes exactly those keys and expects the rest to be byte-identical
+// across reruns and parallelism settings.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "alloc/solvers.hpp"
+#include "core/explorer.hpp"
+#include "obs/telemetry.hpp"
+#include "persist/profile_cache.hpp"
+
+namespace dtse::obs {
+
+/// Bump when the report's shape changes; consumers key on this.
+inline constexpr std::uint64_t kRunReportVersion = 1;
+
+/// One roster entry: did the workload's golden kernel check pass, and if it
+/// was dropped, why (verbatim failure detail).
+struct ReportWorkload {
+  std::string name;
+  bool golden_passed = false;
+  std::string detail;
+};
+
+/// One sweep point.  Carries no wall-clock field on purpose — per-point
+/// timings live in the snapshot's `timings` table under the matching span
+/// name, keeping this struct fully deterministic.
+struct ReportPoint {
+  std::string section;  ///< which sweep produced it (e.g. "alloc/btpc")
+  std::string label;
+  bool feasible = false;
+  bool timed_out = false;
+  std::string error;
+  double onchip_area_mm2 = 0.0;
+  double onchip_power_mw = 0.0;
+  double offchip_power_mw = 0.0;
+  std::uint64_t spare_cycles = 0;
+};
+
+/// Per-chain convergence series of one labelled annealing solve.
+struct SolverConvergence {
+  std::string label;
+  std::vector<alloc::ChainStats> chains;
+};
+
+/// Rebuilds cache statistics from the registry counters the cache mirrors
+/// into (`profile_cache.*`) — the single source both the stderr summary line
+/// and the report's "cache" section read from.
+[[nodiscard]] persist::CacheStats cache_stats_from(const MetricsSnapshot& snapshot);
+
+struct RunReport {
+  std::vector<ReportWorkload> workloads;
+  std::vector<ReportPoint> points;
+  std::vector<std::string> pareto_front;  ///< labels, input order
+  std::vector<SolverConvergence> solver;
+  persist::CacheStats cache;
+  MetricsSnapshot metrics;
+
+  /// Appends one evaluated variant as a point under `section`.
+  void add_point(std::string section, const core::Variant& variant);
+  void add_point(std::string section, std::string label, const core::Evaluation& eval);
+
+  /// Appends the variant's winning-solve convergence series when the solve
+  /// was annealing (B&B/greedy solves carry no chains and are skipped).
+  void add_convergence(std::string label, const core::Evaluation& eval);
+
+  /// The versioned JSON document (see the header comment for the contract).
+  void write_json(std::ostream& os) const;
+};
+
+}  // namespace dtse::obs

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/telemetry.hpp"
 #include "persist/app_container.hpp"
 #include "persist/file_io.hpp"
 #include "support/check.hpp"
@@ -57,18 +58,18 @@ std::string ProfileCache::entry_path(const std::string& key) const {
 std::optional<ir::Application> ProfileCache::load(const std::string& key) {
   const auto path = entry_path(key);
   if (!usable_) {
-    ++stats_.misses;
+    count(&CacheStats::misses, "misses");
     return std::nullopt;
   }
   std::error_code ec;
   if (!fs::exists(path, ec) || ec) {
-    ++stats_.misses;
+    count(&CacheStats::misses, "misses");
     return std::nullopt;
   }
   std::vector<std::uint8_t> bytes;
   if (!read_file_bytes(path, kMaxEntryBytes, bytes)) {
     quarantine(path);
-    ++stats_.misses;
+    count(&CacheStats::misses, "misses");
     return std::nullopt;
   }
   auto result = try_deserialize_application(bytes);
@@ -77,31 +78,39 @@ std::optional<ir::Application> ProfileCache::load(const std::string& key) {
     // bit-rotted, or written by a different format version: set the file
     // aside for post-mortem and let the caller recompute.
     quarantine(path);
-    ++stats_.misses;
+    count(&CacheStats::misses, "misses");
     return std::nullopt;
   }
-  ++stats_.hits;
+  count(&CacheStats::hits, "hits");
   return result.take();
 }
 
 bool ProfileCache::store(const std::string& key, const ir::Application& app) {
   const auto path = entry_path(key);
   if (!usable_) {
-    ++stats_.store_failures;
+    count(&CacheStats::store_failures, "store_failures");
     return false;
   }
   if (!atomic_write_file(path, serialize(app))) {
-    ++stats_.store_failures;
+    count(&CacheStats::store_failures, "store_failures");
     return false;
   }
-  ++stats_.stores;
+  count(&CacheStats::stores, "stores");
   evict_over_cap();
   return true;
 }
 
+void ProfileCache::count(std::uint64_t CacheStats::*field,
+                         std::string_view counter_name) {
+  ++(stats_.*field);
+  obs::TelemetryRegistry::global()
+      .counter("profile_cache." + std::string(counter_name))
+      .add(1);
+}
+
 void ProfileCache::quarantine(const std::string& path) {
   quarantine_file(path);
-  ++stats_.quarantined;
+  count(&CacheStats::quarantined, "quarantined");
 }
 
 void ProfileCache::evict_over_cap() {
@@ -121,7 +130,7 @@ void ProfileCache::evict_over_cap() {
   const std::size_t excess = entries.size() - options_.max_entries;
   for (std::size_t i = 0; i < excess; ++i) {
     std::error_code remove_ec;
-    if (fs::remove(entries[i].second, remove_ec) && !remove_ec) ++stats_.evicted;
+    if (fs::remove(entries[i].second, remove_ec) && !remove_ec) count(&CacheStats::evicted, "evicted");
   }
 }
 

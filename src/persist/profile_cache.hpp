@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "ir/application.hpp"
 
@@ -73,6 +74,10 @@ class ProfileCache {
   [[nodiscard]] std::string entry_path(const std::string& key) const;
   void quarantine(const std::string& path);
   void evict_over_cap();
+  /// Bumps one stats field and mirrors it into the global telemetry registry
+  /// as `profile_cache.<counter_name>` — the registry is the single source
+  /// the stderr line and the run report both read from.
+  void count(std::uint64_t CacheStats::*field, std::string_view counter_name);
 
   std::string directory_;
   CacheOptions options_;

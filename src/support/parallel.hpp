@@ -26,6 +26,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/telemetry.hpp"
+
 namespace dtse::support {
 
 /// Resolves a parallelism request: 0 means "use the hardware", anything else
@@ -44,9 +46,16 @@ template <typename Fn>
 parallel_for_collect(std::size_t n, unsigned parallelism, Fn&& fn) {
   std::vector<std::pair<std::size_t, std::exception_ptr>> errors;
   if (n == 0) return errors;
+  // Loop and task counts are pure functions of the call site, so they are
+  // safe counters; per-worker spans are trace-only (aggregate=false) because
+  // the worker count varies with hardware and `parallelism == 0`.
+  auto& registry = obs::TelemetryRegistry::global();
+  registry.counter("parallel.loops").add(1);
+  registry.counter("parallel.tasks").add(n);
   const std::size_t workers =
       std::min<std::size_t>(effective_parallelism(parallelism), n);
   if (workers <= 1) {
+    obs::Span span(&registry, "parallel_for.worker", "parallel", /*aggregate=*/false);
     for (std::size_t i = 0; i < n; ++i) {
       try {
         fn(i);
@@ -54,15 +63,19 @@ parallel_for_collect(std::size_t n, unsigned parallelism, Fn&& fn) {
         errors.emplace_back(i, std::current_exception());
       }
     }
+    span.arg("tasks", static_cast<double>(n));
     return errors;
   }
 
   std::atomic<std::size_t> next{0};
   std::mutex error_mutex;
   auto drain = [&] {
+    obs::Span span(&registry, "parallel_for.worker", "parallel", /*aggregate=*/false);
+    std::size_t executed = 0;
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
+      if (i >= n) break;
+      ++executed;
       try {
         fn(i);
       } catch (...) {
@@ -70,6 +83,7 @@ parallel_for_collect(std::size_t n, unsigned parallelism, Fn&& fn) {
         errors.emplace_back(i, std::current_exception());
       }
     }
+    span.arg("tasks", static_cast<double>(executed));
   };
 
   std::vector<std::thread> threads;

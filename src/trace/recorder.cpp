@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/telemetry.hpp"
 #include "support/check.hpp"
 
 namespace dtse::trace {
@@ -417,15 +418,22 @@ ir::Application Recorder::build(double scale) const {
     app.add_body(std::move(ir_body));
   }
 
+  std::uint64_t reuse_misses = 0;
   for (std::size_t i = 0; i < arrays_.size(); ++i) {
     if (arrays_[i].reuse.empty()) continue;
     ir::ReuseProfile profile;
     for (const auto& sim : arrays_[i].reuse) {
+      reuse_misses += sim.misses();
       profile.windows.push_back(
           {sim.declared_capacity(), static_cast<double>(sim.misses()) * scale});
     }
     app.set_reuse_profile(group_of[i], std::move(profile));
   }
+
+  auto& registry = obs::TelemetryRegistry::global();
+  registry.counter("recorder.builds").add(1);
+  registry.counter("recorder.recorded_events").add(total_events_);
+  registry.counter("recorder.reuse_misses").add(reuse_misses);
 
   app.validate();
   return app;

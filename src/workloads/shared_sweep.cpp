@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/telemetry.hpp"
 #include "persist/app_container.hpp"
 #include "persist/fnv.hpp"
 #include "persist/sweep_checkpoint.hpp"
@@ -39,8 +40,10 @@ void run_checkpointed_sweep(const ir::Application& merged,
   auto checkpoint = persist::load_checkpoint(checkpoint_path, fingerprint)
                         .value_or(persist::SweepCheckpoint{fingerprint, {}});
 
+  auto& registry = obs::TelemetryRegistry::global();
   result.variants.reserve(counts.size());
   for (const int count : counts) {
+    obs::Span span(&registry, "sweep.point/" + std::to_string(count), "sweep");
     const persist::CheckpointRow* saved = nullptr;
     for (const auto& row : checkpoint.rows) {
       if (row.count == count) {
@@ -48,9 +51,11 @@ void run_checkpointed_sweep(const ir::Application& merged,
         break;
       }
     }
+    span.arg("resumed", saved != nullptr ? 1.0 : 0.0);
     if (saved != nullptr) {
       result.variants.push_back(variant_from_row(*saved, merged));
       ++result.resumed;
+      registry.counter("sweep.rows_resumed").add(1);
       continue;
     }
     auto fresh = explorer.explore_allocation_counts(merged, {count}, explorer_options);
@@ -88,6 +93,9 @@ SharedSweepResult run_shared_sweep(const std::vector<const Workload*>& workloads
                                    const SweepPersistence& persistence) {
   DTSE_CHECK(!workloads.empty(), "shared sweep needs at least one workload");
 
+  auto& registry = obs::TelemetryRegistry::global();
+  registry.counter("sweep.runs").add(1);
+
   SharedSweepResult result;
   // Staged models of the survivors; stable storage for the merge pointers.
   std::vector<ir::Application> tuned;
@@ -98,14 +106,22 @@ SharedSweepResult run_shared_sweep(const std::vector<const Workload*>& workloads
     if (workload == nullptr) {
       result.failures.push_back(
           {"<null #" + std::to_string(i) + ">", "lookup", "null workload pointer"});
+      registry.counter("sweep.failures").add(1);
       continue;
     }
     const std::string name(workload->name());
+    obs::Span span(&registry, "sweep.stage/" + name, "sweep");
+    // Attribute cache traffic to this workload's staging: the delta of the
+    // cache's stats across the stage (deterministic given the disk state).
+    const persist::CacheStats before =
+        persistence.profile_cache != nullptr ? persistence.profile_cache->stats()
+                                             : persist::CacheStats{};
     const char* stage = "verify";
     try {
       const auto report = workload->verify(workload_options);
       if (!report.passed) {
         result.failures.push_back({name, "verify", report.to_string()});
+        registry.counter("sweep.failures").add(1);
         continue;
       }
       stage = "profile";
@@ -114,15 +130,25 @@ SharedSweepResult run_shared_sweep(const std::vector<const Workload*>& workloads
       stage = "tuned_variant";
       tuned.push_back(workload->tuned_variant(profiled));
       result.survivors.push_back(name);
+      registry.counter("sweep.staged_workloads").add(1);
     } catch (const std::exception& e) {
       // A workload that throws anywhere in its staging is dropped with the
       // exception text and the stage it got to; the sweep goes on without it.
       result.failures.push_back({name, stage, e.what()});
+      registry.counter("sweep.failures").add(1);
+    }
+    if (persistence.profile_cache != nullptr) {
+      const persist::CacheStats& after = persistence.profile_cache->stats();
+      span.arg("cache_hits", static_cast<double>(after.hits - before.hits));
+      span.arg("cache_misses", static_cast<double>(after.misses - before.misses));
+      span.arg("cache_quarantined",
+               static_cast<double>(after.quarantined - before.quarantined));
     }
   }
 
   DTSE_CHECK(!result.survivors.empty(),
              "every workload failed staging; nothing to sweep");
+  registry.gauge("sweep.survivors").set(static_cast<std::int64_t>(result.survivors.size()));
 
   std::vector<std::pair<std::string, const ir::Application*>> merged_inputs;
   merged_inputs.reserve(result.survivors.size());

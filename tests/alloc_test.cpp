@@ -275,6 +275,72 @@ TEST(Solvers, ReheatingUnfreezesAStagnantChain) {
   EXPECT_LE(reheated.scalar_cost, greedy.scalar_cost + 1e-9);
 }
 
+TEST(Solvers, ChainStatsAreConsistentWithSolutionTotals) {
+  Fixture fix(8);
+  const auto problem = fix.problem();
+  SolverOptions options;
+  options.solver = Solver::kSimulatedAnnealing;
+  options.sa_iterations = 4000;
+  options.sa_chains = 4;
+  options.seed = 11;
+  const auto solution = solve_assignment(problem, 3, options);
+  ASSERT_TRUE(solution.feasible);
+  ASSERT_EQ(solution.chains.size(), 4u);
+
+  std::uint64_t moves = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t reheats = 0;
+  for (const auto& chain : solution.chains) {
+    moves += chain.moves;
+    accepted += chain.accepted;
+    reheats += chain.reheats;
+    ASSERT_FALSE(chain.convergence.empty());
+    // The closing sample carries the chain's final cumulative totals.
+    const auto& last = chain.convergence.back();
+    EXPECT_EQ(last.accepted, chain.accepted);
+    EXPECT_EQ(last.reheats, chain.reheats);
+    EXPECT_DOUBLE_EQ(last.best_cost, chain.best_cost);
+    EXPECT_LE(chain.best_cost, chain.start_cost + 1e-9);
+    // best_cost is non-increasing along the series.
+    for (std::size_t i = 1; i < chain.convergence.size(); ++i) {
+      EXPECT_LE(chain.convergence[i].best_cost,
+                chain.convergence[i - 1].best_cost + 1e-12);
+      EXPECT_GT(chain.convergence[i].iteration, chain.convergence[i - 1].iteration);
+    }
+  }
+  EXPECT_EQ(solution.nodes_explored, moves);
+  EXPECT_EQ(solution.accepted_moves, accepted);
+  EXPECT_EQ(solution.reheats, reheats);
+}
+
+TEST(Solvers, ReheatCountsSurfaceInSolutionAndChains) {
+  Fixture fix(10);
+  for (int i = 0; i < 6; ++i) {
+    fix.conflicts.add_conflict(fix.groups[i], fix.groups[(i + 3) % 10], 1.0);
+  }
+  const auto problem = fix.problem();
+  SolverOptions options;
+  options.solver = Solver::kSimulatedAnnealing;
+  options.sa_chains = 1;
+  options.sa_iterations = 20000;
+  options.sa_reheat_stagnation = 200;
+  const auto solution = solve_assignment(problem, 4, options);
+  ASSERT_TRUE(solution.feasible);
+  ASSERT_EQ(solution.chains.size(), 1u);
+  EXPECT_GT(solution.reheats, 0u);
+  EXPECT_EQ(solution.reheats, solution.chains[0].reheats);
+}
+
+TEST(Solvers, BranchAndBoundAndGreedyCarryNoChains) {
+  Fixture fix(5);
+  const auto problem = fix.problem();
+  SolverOptions options;
+  options.solver = Solver::kBranchAndBound;
+  EXPECT_TRUE(solve_assignment(problem, 2, options).chains.empty());
+  options.solver = Solver::kGreedy;
+  EXPECT_TRUE(solve_assignment(problem, 2, options).chains.empty());
+}
+
 TEST(Solvers, InfeasibleMemoryCountReported) {
   Fixture fix(4);
   for (int i = 0; i < 4; ++i) {
@@ -374,6 +440,21 @@ TEST(Allocator, SweepCoversRequestedCounts) {
   // Optimal power is non-increasing with the memory count.
   EXPECT_GE(results[0].summary.onchip_power_mw,
             results[2].summary.onchip_power_mw - 1e-9);
+}
+
+TEST(Allocator, SaTelemetryFlowsIntoAllocationResult) {
+  Fixture fix(8);
+  MemoryAllocator allocator{fix.library};
+  AllocationOptions options;
+  options.onchip_memories = 3;
+  options.solver.solver = Solver::kSimulatedAnnealing;
+  options.solver.sa_iterations = 2000;
+  const auto result = allocator.allocate(fix.app, fix.conflicts, options);
+  ASSERT_TRUE(result.feasible);
+  ASSERT_EQ(result.sa_chains.size(), 4u);  // default sa_chains
+  std::uint64_t accepted = 0;
+  for (const auto& chain : result.sa_chains) accepted += chain.accepted;
+  EXPECT_EQ(result.accepted_moves, accepted);
 }
 
 TEST(Allocator, ReportsInfeasibleCount) {
