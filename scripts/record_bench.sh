@@ -19,11 +19,15 @@ cmake --build "$BUILD_DIR" -j --target perf_microbench
 
 # The trajectory must cover the workload-roster benchmarks: a snapshot that
 # silently dropped them (filtered run, renamed bench) would let the nightly
-# compare gate pass on an empty intersection.
-for bench in BM_MotionEstimate BM_ExploreMotion BM_ExploreMultiWorkload \
-             BM_HyperspecEncode BM_ProfiledFeedback256 \
+# compare gate pass on an empty intersection.  The *Scalar twins must be
+# present too — without both halves the scalar-vs-SIMD ratio in the
+# trajectory is unreadable.
+for bench in BM_MotionEstimate BM_MotionEstimateScalar \
+             BM_ExploreMotion BM_ExploreMultiWorkload \
+             BM_HyperspecEncode BM_HyperspecEncodeScalar BM_ProfiledFeedback256 \
              BM_PersistRoundTrip BM_ProfileCacheHit \
-             BM_BitWriterThroughput BM_BitReaderThroughput BM_EncodeLossless \
+             BM_BitWriterThroughput BM_BitReaderThroughput \
+             BM_EncodeLossless BM_EncodeLosslessScalar \
              BM_EntropyHuffman BM_EntropyRice BM_EntropyExpGolomb BM_EntropyRans \
              BM_TelemetryOverhead; do
   if ! grep -q "\"$bench" "$OUT"; then

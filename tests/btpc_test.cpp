@@ -14,6 +14,7 @@
 #include "entropy/adaptive_huffman.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
+#include "support/simd.hpp"
 
 namespace dtse::btpc {
 namespace {
@@ -596,15 +597,29 @@ TEST_P(TiledTraversal, BitstreamIsByteIdenticalToLevelOrder) {
     reference.traversal = Traversal::kLevelOrder;
     reference.lossy = lossy;
     reference.quantizer_delta = 8;
-    CodecOptions tiled = reference;
-    tiled.traversal = Traversal::kTiled;
-    CodecOptions tiny_strips = tiled;
-    tiny_strips.tile_rows = 7;  // strips misaligned with every lattice step
+    reference.simd = support::SimdMode::kScalar;
 
-    Encoder e_ref(w, h), e_tiled(w, h), e_tiny(w, h);
+    Encoder e_ref(w, h);
     const auto ref = e_ref.encode(image, reference);
-    EXPECT_EQ(e_tiled.encode(image, tiled).stream, ref.stream) << "lossy=" << lossy;
-    EXPECT_EQ(e_tiny.encode(image, tiny_strips).stream, ref.stream) << "lossy=" << lossy;
+    // Traversal x dispatch cross: level-order and tiled (default plus
+    // misaligned 7-row strips) must reproduce the scalar level-order stream
+    // under every dispatchable path, not just the mode kAuto happens to pick.
+    for (const auto simd : support::dispatchable_simd_modes()) {
+      CodecOptions level_order = reference;
+      level_order.simd = simd;
+      CodecOptions tiled = level_order;
+      tiled.traversal = Traversal::kTiled;
+      CodecOptions tiny_strips = tiled;
+      tiny_strips.tile_rows = 7;  // strips misaligned with every lattice step
+
+      Encoder e_level(w, h), e_tiled(w, h), e_tiny(w, h);
+      EXPECT_EQ(e_level.encode(image, level_order).stream, ref.stream)
+          << "lossy=" << lossy << " simd=" << support::to_string(simd);
+      EXPECT_EQ(e_tiled.encode(image, tiled).stream, ref.stream)
+          << "lossy=" << lossy << " simd=" << support::to_string(simd);
+      EXPECT_EQ(e_tiny.encode(image, tiny_strips).stream, ref.stream)
+          << "lossy=" << lossy << " simd=" << support::to_string(simd);
+    }
   }
 }
 

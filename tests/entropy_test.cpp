@@ -25,6 +25,7 @@
 #include "hyperspec/codec.hpp"
 #include "support/image.hpp"
 #include "support/rng.hpp"
+#include "support/simd.hpp"
 #include "support/status.hpp"
 
 namespace dtse::entropy {
@@ -175,44 +176,118 @@ TEST(EntropyRoster, NamesRoundTripThroughTheParser) {
 // pre-roster encoders.  A mismatch means the wire format changed — bump the
 // container version instead of updating the hash casually.
 
+// Every golden is asserted under every dispatchable SIMD path: the pinned
+// hash is the proof that the vector kernels reproduce the legacy containers
+// byte for byte, not just that they agree with today's scalar code.
+
 TEST(GoldenBitstreams, BtpcLosslessHuffmanContainerIsByteStable) {
   const auto image =
       support::make_synthetic_image(48, 48, support::SyntheticKind::kCompound, 4242);
-  btpc::Encoder encoder(48, 48);
-  const auto bytes = btpc::serialize(encoder.encode(image, {}));
-  EXPECT_EQ(bytes.size(), 862u);
-  EXPECT_EQ(fnv1a(bytes), 0x61b719e9ee260483ull);
+  for (const auto simd : support::dispatchable_simd_modes()) {
+    btpc::Encoder encoder(48, 48);
+    btpc::CodecOptions options;
+    options.simd = simd;
+    const auto bytes = btpc::serialize(encoder.encode(image, options));
+    EXPECT_EQ(bytes.size(), 862u) << support::to_string(simd);
+    EXPECT_EQ(fnv1a(bytes), 0x61b719e9ee260483ull) << support::to_string(simd);
+  }
 }
 
 TEST(GoldenBitstreams, BtpcLossyHuffmanContainerIsByteStable) {
   const auto image =
       support::make_synthetic_image(32, 32, support::SyntheticKind::kEdges, 99);
-  btpc::Encoder encoder(32, 32);
-  btpc::CodecOptions options;
-  options.lossy = true;
-  options.quantizer_delta = 4;
-  const auto bytes = btpc::serialize(encoder.encode(image, options));
-  EXPECT_EQ(bytes.size(), 348u);
-  EXPECT_EQ(fnv1a(bytes), 0xd689d95af90424bfull);
+  for (const auto simd : support::dispatchable_simd_modes()) {
+    btpc::Encoder encoder(32, 32);
+    btpc::CodecOptions options;
+    options.lossy = true;
+    options.quantizer_delta = 4;
+    options.simd = simd;
+    const auto bytes = btpc::serialize(encoder.encode(image, options));
+    EXPECT_EQ(bytes.size(), 348u) << support::to_string(simd);
+    EXPECT_EQ(fnv1a(bytes), 0xd689d95af90424bfull) << support::to_string(simd);
+  }
 }
 
 TEST(GoldenBitstreams, HyperspecRiceContainerIsByteStable) {
-  hyperspec::Encoder encoder({4, 12, 12});
-  const auto bytes = hyperspec::serialize(
-      encoder.encode(hyperspec::make_synthetic_cube({4, 12, 12}, 31), {}));
-  EXPECT_EQ(bytes.size(), 522u);
-  EXPECT_EQ(fnv1a(bytes), 0x5dfa556b931849b7ull);
+  const auto cube = hyperspec::make_synthetic_cube({4, 12, 12}, 31);
+  for (const auto simd : support::dispatchable_simd_modes()) {
+    hyperspec::Encoder encoder({4, 12, 12});
+    hyperspec::HsCodecOptions options;
+    options.simd = simd;
+    const auto bytes = hyperspec::serialize(encoder.encode(cube, options));
+    EXPECT_EQ(bytes.size(), 522u) << support::to_string(simd);
+    EXPECT_EQ(fnv1a(bytes), 0x5dfa556b931849b7ull) << support::to_string(simd);
+  }
 }
 
 TEST(GoldenBitstreams, HyperspecNarrowRiceContainerIsByteStable) {
-  hyperspec::Encoder encoder({8, 8, 16});
-  hyperspec::HsCodecOptions options;
-  options.unary_limit = 8;
-  options.rescale_limit = 32;
-  const auto bytes = hyperspec::serialize(
-      encoder.encode(hyperspec::make_synthetic_cube({8, 8, 16}, 77), options));
-  EXPECT_EQ(bytes.size(), 758u);
-  EXPECT_EQ(fnv1a(bytes), 0xbb583201e4deca61ull);
+  const auto cube = hyperspec::make_synthetic_cube({8, 8, 16}, 77);
+  for (const auto simd : support::dispatchable_simd_modes()) {
+    hyperspec::Encoder encoder({8, 8, 16});
+    hyperspec::HsCodecOptions options;
+    options.unary_limit = 8;
+    options.rescale_limit = 32;
+    options.simd = simd;
+    const auto bytes = hyperspec::serialize(encoder.encode(cube, options));
+    EXPECT_EQ(bytes.size(), 758u) << support::to_string(simd);
+    EXPECT_EQ(fnv1a(bytes), 0xbb583201e4deca61ull) << support::to_string(simd);
+  }
+}
+
+TEST(GoldenBitstreams, BtpcRosterContainersAreByteStable) {
+  // BTP2 framing pinned per roster backend, under every dispatch path.
+  // Hashes captured from the scalar encoder at the time the SIMD twins
+  // landed; a mismatch means the wire format moved — bump the container
+  // version instead of editing these.
+  const auto image =
+      support::make_synthetic_image(48, 48, support::SyntheticKind::kCompound, 4242);
+  const struct {
+    Backend backend;
+    std::size_t size;
+    std::uint64_t hash;
+  } goldens[] = {
+      {Backend::kRice, 831u, 0x872a5008a0cf24feull},
+      {Backend::kExpGolomb, 857u, 0xb4d91decc34b3aeaull},
+  };
+  for (const auto& golden : goldens) {
+    for (const auto simd : support::dispatchable_simd_modes()) {
+      btpc::Encoder encoder(48, 48);
+      btpc::CodecOptions options;
+      options.backend = golden.backend;
+      options.simd = simd;
+      const auto bytes = btpc::serialize(encoder.encode(image, options));
+      EXPECT_EQ(bytes.size(), golden.size)
+          << to_string(golden.backend) << " under " << support::to_string(simd);
+      EXPECT_EQ(fnv1a(bytes), golden.hash)
+          << to_string(golden.backend) << " under " << support::to_string(simd);
+    }
+  }
+}
+
+TEST(GoldenBitstreams, HyperspecRosterContainersAreByteStable) {
+  // HSC2 framing pinned per roster backend, under every dispatch path.
+  const auto cube = hyperspec::make_synthetic_cube({4, 12, 12}, 31);
+  const struct {
+    Backend backend;
+    std::size_t size;
+    std::uint64_t hash;
+  } goldens[] = {
+      {Backend::kExpGolomb, 543u, 0x33162cbd26b85081ull},
+      {Backend::kRans, 2197u, 0x8c9c743e5ba0a40bull},
+  };
+  for (const auto& golden : goldens) {
+    for (const auto simd : support::dispatchable_simd_modes()) {
+      hyperspec::Encoder encoder({4, 12, 12});
+      hyperspec::HsCodecOptions options;
+      options.backend = golden.backend;
+      options.simd = simd;
+      const auto bytes = hyperspec::serialize(encoder.encode(cube, options));
+      EXPECT_EQ(bytes.size(), golden.size)
+          << to_string(golden.backend) << " under " << support::to_string(simd);
+      EXPECT_EQ(fnv1a(bytes), golden.hash)
+          << to_string(golden.backend) << " under " << support::to_string(simd);
+    }
+  }
 }
 
 TEST(GoldenBitstreams, EntropyBatchContainersAreByteStable) {

@@ -1,0 +1,395 @@
+// Differential harness for the SIMD dispatch layer (src/support/simd.hpp).
+//
+// The contract under test: every dispatchable vector path produces a
+// byte-identical bitstream (BTPC, hyperspec), a bit-equal motion-vector
+// field with exact SADs, and an identical trace::Recorder profile — the
+// scalar loops are the golden reference and the vector twins must be
+// observationally invisible.  The geometries lean deliberately awkward
+// (odd dimensions, widths straddling the 8/16-lane block bounds, degenerate
+// shapes) so every prologue/epilogue tail path runs.
+//
+// The differentials set the option knob directly.  When CI forces a path
+// with the DTSE_SIMD_MODE environment variable (the sanitizer legs), the
+// override collapses both sides of each differential onto the forced path —
+// the comparisons become vacuous but the forced kernels still execute over
+// every geometry, which is exactly what a sanitizer sweep wants.  The
+// dispatch unit tests pin the variable themselves, so they stay meaningful
+// in every configuration.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "btpc/codec.hpp"
+#include "hyperspec/codec.hpp"
+#include "motion/estimator.hpp"
+#include "persist/app_container.hpp"
+#include "support/image.hpp"
+#include "support/rng.hpp"
+#include "support/simd.hpp"
+#include "trace/recorder.hpp"
+
+namespace dtse::support {
+namespace {
+
+/// Pins DTSE_SIMD_MODE for one test (set, or cleared when `value` is null)
+/// and restores the prior state on scope exit.
+class EnvGuard {
+ public:
+  explicit EnvGuard(const char* value) {
+    if (const char* prev = std::getenv(kVar)) saved_ = prev;
+    if (value != nullptr) {
+      ::setenv(kVar, value, 1);
+    } else {
+      ::unsetenv(kVar);
+    }
+  }
+  ~EnvGuard() {
+    if (saved_) {
+      ::setenv(kVar, saved_->c_str(), 1);
+    } else {
+      ::unsetenv(kVar);
+    }
+  }
+  EnvGuard(const EnvGuard&) = delete;
+  EnvGuard& operator=(const EnvGuard&) = delete;
+
+ private:
+  static constexpr const char* kVar = "DTSE_SIMD_MODE";
+  std::optional<std::string> saved_;
+};
+
+/// The vector paths this build + host can force (everything dispatchable
+/// except the scalar reference itself).  Empty in a -DDTSE_SIMD=OFF build.
+std::vector<SimdMode> vector_modes() {
+  auto modes = dispatchable_simd_modes();
+  modes.erase(modes.begin());  // kScalar is always the first entry
+  return modes;
+}
+
+// --- dispatch resolution -----------------------------------------------------
+
+TEST(SimdDispatch, ModeNamesRoundTrip) {
+  for (const auto mode :
+       {SimdMode::kScalar, SimdMode::kSse2, SimdMode::kAvx2, SimdMode::kAuto}) {
+    const auto parsed = simd_mode_from_name(to_string(mode));
+    ASSERT_TRUE(parsed.has_value()) << to_string(mode);
+    EXPECT_EQ(*parsed, mode) << to_string(mode);
+  }
+  // kNeon names the same 128-bit tier as kSse2 (ISA-neutral enumerator).
+  ASSERT_TRUE(simd_mode_from_name("neon").has_value());
+  EXPECT_EQ(*simd_mode_from_name("neon"), SimdMode::kSse2);
+  EXPECT_EQ(SimdMode::kNeon, SimdMode::kSse2);
+  EXPECT_FALSE(simd_mode_from_name("avx512").has_value());
+  EXPECT_FALSE(simd_mode_from_name("").has_value());
+}
+
+TEST(SimdDispatch, DispatchableListIsNarrowestFirst) {
+  const auto modes = dispatchable_simd_modes();
+  ASSERT_FALSE(modes.empty());
+  EXPECT_EQ(modes.front(), SimdMode::kScalar);
+  for (std::size_t i = 0; i + 1 < modes.size(); ++i) {
+    EXPECT_LT(static_cast<int>(modes[i]), static_cast<int>(modes[i + 1]));
+  }
+  EXPECT_EQ(widest_simd_mode(), modes.back());
+  EXPECT_TRUE(simd_mode_dispatchable(SimdMode::kScalar));
+  EXPECT_FALSE(simd_mode_dispatchable(SimdMode::kAuto))
+      << "kAuto is a request, not a path";
+}
+
+TEST(SimdDispatch, ResolveHonorsRequestsAndNeverReturnsAuto) {
+  const EnvGuard cleared(nullptr);
+  EXPECT_EQ(resolve_simd_mode(SimdMode::kScalar), SimdMode::kScalar);
+  EXPECT_EQ(resolve_simd_mode(SimdMode::kAuto), widest_simd_mode());
+  for (const auto mode : dispatchable_simd_modes()) {
+    EXPECT_EQ(resolve_simd_mode(mode), mode) << to_string(mode);
+  }
+  for (const auto mode :
+       {SimdMode::kScalar, SimdMode::kSse2, SimdMode::kAvx2, SimdMode::kAuto}) {
+    const auto resolved = resolve_simd_mode(mode);
+    EXPECT_NE(resolved, SimdMode::kAuto);
+    EXPECT_TRUE(simd_mode_dispatchable(resolved))
+        << to_string(mode) << " resolved to " << to_string(resolved);
+  }
+}
+
+TEST(SimdDispatch, UnsupportedRequestDegradesToNextNarrowerPath) {
+  const EnvGuard cleared(nullptr);
+  if (!simd_mode_dispatchable(SimdMode::kAvx2)) {
+    EXPECT_EQ(resolve_simd_mode(SimdMode::kAvx2),
+              simd_mode_dispatchable(SimdMode::kSse2) ? SimdMode::kSse2
+                                                      : SimdMode::kScalar);
+  }
+  if (!simd_mode_dispatchable(SimdMode::kSse2)) {
+    EXPECT_EQ(resolve_simd_mode(SimdMode::kSse2), SimdMode::kScalar);
+  }
+}
+
+TEST(SimdDispatch, EnvVariableOverridesTheOptionKnob) {
+  {
+    const EnvGuard forced("scalar");
+    EXPECT_EQ(resolve_simd_mode(SimdMode::kAuto), SimdMode::kScalar);
+    EXPECT_EQ(resolve_simd_mode(widest_simd_mode()), SimdMode::kScalar);
+  }
+  {
+    // A forced wide path still degrades on a host that cannot run it, so CI
+    // can export one value across heterogeneous runners.
+    const EnvGuard forced("avx2");
+    EXPECT_EQ(resolve_simd_mode(SimdMode::kScalar),
+              simd_mode_dispatchable(SimdMode::kAvx2)
+                  ? SimdMode::kAvx2
+                  : (simd_mode_dispatchable(SimdMode::kSse2) ? SimdMode::kSse2
+                                                             : SimdMode::kScalar));
+  }
+  {
+    // An unrecognized name is ignored, not an error: the option knob stands.
+    const EnvGuard forced("altivec");
+    EXPECT_EQ(resolve_simd_mode(SimdMode::kScalar), SimdMode::kScalar);
+  }
+}
+
+// --- BTPC: byte-identical bitstreams -----------------------------------------
+
+btpc::EncodedImage encode_btpc(const support::Image& image, btpc::CodecOptions options,
+                               SimdMode mode) {
+  options.simd = mode;
+  btpc::Encoder encoder(image.width(), image.height());
+  return encoder.encode(image, options);
+}
+
+TEST(BtpcDifferential, BitstreamByteIdenticalOnOddGeometries) {
+  if (vector_modes().empty()) GTEST_SKIP() << "scalar-only build";
+  // 257x129 is the ISSUE's acceptance geometry; the rest stress the row-strip
+  // tails: widths below one vector block, between the 8- and 16-lane block
+  // bounds, and degenerate single-pixel frames.
+  const std::pair<int, int> geometries[] = {{257, 129}, {129, 257}, {33, 47},
+                                            {40, 24},   {17, 5},    {8, 8},
+                                            {5, 7},     {2, 2},     {1, 1}};
+  for (const auto& [w, h] : geometries) {
+    const auto image =
+        support::make_synthetic_image(w, h, support::SyntheticKind::kCompound, 21);
+    const auto reference = encode_btpc(image, {}, SimdMode::kScalar);
+    for (const auto mode : vector_modes()) {
+      EXPECT_EQ(encode_btpc(image, {}, mode).stream, reference.stream)
+          << w << "x" << h << " under " << to_string(mode);
+    }
+  }
+}
+
+TEST(BtpcDifferential, TraversalsAndMisalignedStripsAgreeAcrossModes) {
+  if (vector_modes().empty()) GTEST_SKIP() << "scalar-only build";
+  // The dispatch knob must commute with the traversal knob: level-order,
+  // default strips and deliberately misaligned 7-row strips all produce the
+  // one bitstream, under every path.
+  const auto image =
+      support::make_synthetic_image(129, 67, support::SyntheticKind::kEdges, 9);
+  const auto reference = encode_btpc(image, {}, SimdMode::kScalar);
+  for (const auto mode : vector_modes()) {
+    for (const auto traversal : {btpc::Traversal::kLevelOrder, btpc::Traversal::kTiled}) {
+      btpc::CodecOptions options;
+      options.traversal = traversal;
+      EXPECT_EQ(encode_btpc(image, options, mode).stream, reference.stream)
+          << to_string(mode);
+      options.tile_rows = 7;
+      EXPECT_EQ(encode_btpc(image, options, mode).stream, reference.stream)
+          << to_string(mode) << " tile_rows=7";
+    }
+  }
+}
+
+TEST(BtpcDifferential, LossyStreamsAgreeAcrossModes) {
+  if (vector_modes().empty()) GTEST_SKIP() << "scalar-only build";
+  // Lossy quantization feeds reconstructed pixels back into later
+  // predictions (a loop-carried dependency), so the codec keeps that pass
+  // scalar under every mode — the knob still must not change a single byte.
+  const auto image =
+      support::make_synthetic_image(97, 53, support::SyntheticKind::kCompound, 13);
+  btpc::CodecOptions options;
+  options.lossy = true;
+  options.quantizer_delta = 8;
+  const auto reference = encode_btpc(image, options, SimdMode::kScalar);
+  for (const auto mode : vector_modes()) {
+    EXPECT_EQ(encode_btpc(image, options, mode).stream, reference.stream)
+        << to_string(mode);
+  }
+}
+
+TEST(BtpcDifferential, RandomWidthTailProperty) {
+  if (vector_modes().empty()) GTEST_SKIP() << "scalar-only build";
+  // Property test over the tail handling: random geometries not divisible by
+  // any lane count, so the scalar prologue/epilogue boundary lands at a
+  // different offset in every frame.
+  support::Rng rng(20260808);
+  for (int trial = 0; trial < 16; ++trial) {
+    const int w = 3 + static_cast<int>(rng.below(78));
+    const int h = 3 + static_cast<int>(rng.below(62));
+    const auto image = support::make_synthetic_image(
+        w, h, support::SyntheticKind::kCompound, 100 + trial);
+    const auto reference = encode_btpc(image, {}, SimdMode::kScalar);
+    for (const auto mode : vector_modes()) {
+      ASSERT_EQ(encode_btpc(image, {}, mode).stream, reference.stream)
+          << w << "x" << h << " under " << to_string(mode);
+    }
+  }
+}
+
+// --- hyperspec: byte-identical streams ---------------------------------------
+
+hyperspec::EncodedCube encode_cube(const hyperspec::Cube& cube,
+                                   hyperspec::HsCodecOptions options, SimdMode mode) {
+  options.simd = mode;
+  hyperspec::Encoder encoder(cube.shape());
+  return encoder.encode(cube, options);
+}
+
+TEST(HyperspecDifferential, StreamByteIdenticalAcrossDynamicRanges) {
+  if (vector_modes().empty()) GTEST_SKIP() << "scalar-only build";
+  // The ISSUE's 7x33x17 acceptance cube at 8-, 10- and 16-bit ranges: the
+  // residual-mapping lanes must saturate nowhere across the full spread.
+  const hyperspec::CubeShape shape{7, 33, 17};
+  for (const int bits : {8, 10, 16}) {
+    hyperspec::HsCodecOptions options;
+    options.dynamic_range_bits = bits;
+    const auto cube = hyperspec::make_synthetic_cube(shape, 31, bits);
+    const auto reference = encode_cube(cube, options, SimdMode::kScalar);
+    for (const auto mode : vector_modes()) {
+      EXPECT_EQ(encode_cube(cube, options, mode).stream, reference.stream)
+          << bits << "-bit under " << to_string(mode);
+    }
+  }
+}
+
+TEST(HyperspecDifferential, DegenerateAndMisalignedShapesAgree) {
+  if (vector_modes().empty()) GTEST_SKIP() << "scalar-only build";
+  // Widths 1..3 have no vector interior at all; 4..10 exercise every
+  // consumed-vs-tail split of the 4- and 8-lane kernels.
+  const hyperspec::CubeShape shapes[] = {{1, 1, 1}, {1, 1, 9},  {5, 9, 1},
+                                         {2, 2, 2}, {3, 7, 4},  {3, 7, 5},
+                                         {3, 7, 6}, {2, 5, 10}, {4, 3, 3}};
+  for (const auto& shape : shapes) {
+    const auto cube = hyperspec::make_synthetic_cube(shape, 99);
+    const auto reference = encode_cube(cube, {}, SimdMode::kScalar);
+    for (const auto mode : vector_modes()) {
+      EXPECT_EQ(encode_cube(cube, {}, mode).stream, reference.stream)
+          << shape.bands << "x" << shape.height << "x" << shape.width << " under "
+          << to_string(mode);
+    }
+  }
+}
+
+TEST(HyperspecDifferential, EscapeHeavyNoiseCubeAgrees) {
+  if (vector_modes().empty()) GTEST_SKIP() << "scalar-only build";
+  // Uniform 16-bit noise drives the coder through the escape path on most
+  // samples and puts the residual mapping at the extremes of its range.
+  const hyperspec::CubeShape shape{3, 31, 29};
+  hyperspec::Cube noisy(shape);
+  support::Rng rng(7);
+  for (auto& sample : noisy.samples()) {
+    sample = static_cast<std::uint16_t>(rng.below(65536));
+  }
+  hyperspec::HsCodecOptions options;
+  options.dynamic_range_bits = 16;
+  const auto reference = encode_cube(noisy, options, SimdMode::kScalar);
+  for (const auto mode : vector_modes()) {
+    EXPECT_EQ(encode_cube(noisy, options, mode).stream, reference.stream)
+        << to_string(mode);
+  }
+}
+
+// --- motion: bit-equal fields and SADs ---------------------------------------
+
+motion::MotionField estimate(const motion::FramePair& frames, int w, int h,
+                             motion::MotionOptions options, SimdMode mode) {
+  options.simd = mode;
+  motion::Estimator estimator(w, h, options);
+  return estimator.estimate(frames.reference, frames.current);
+}
+
+TEST(MotionDifferential, FieldsBitEqualAcrossModesAndStrategies) {
+  if (vector_modes().empty()) GTEST_SKIP() << "scalar-only build";
+  // block_size 8 keeps the 256-bit path on its 128-bit fallback; 16 engages
+  // the widest accumulate.  Both strategies must agree on every vector *and*
+  // every exact SAD (MotionVector equality covers the SAD field).
+  for (const int bs : {8, 16}) {
+    for (const auto strategy :
+         {motion::SearchStrategy::kThreeStep, motion::SearchStrategy::kFullSearch}) {
+      const int edge = bs == 8 ? 64 : 96;
+      const auto frames = motion::make_synthetic_frame_pair(edge, edge, 7);
+      motion::MotionOptions options;
+      options.block_size = bs;
+      options.search = strategy;
+      const auto reference = estimate(frames, edge, edge, options, SimdMode::kScalar);
+      for (const auto mode : vector_modes()) {
+        EXPECT_EQ(estimate(frames, edge, edge, options, mode), reference)
+            << "bs=" << bs << " under " << to_string(mode);
+      }
+    }
+  }
+}
+
+// --- profiles are dispatch-invariant -----------------------------------------
+
+TEST(ProfileInvariance, BtpcModelSerializesIdenticallyUnderEveryMode) {
+  // Instrumented encodes must take the scalar access sequence regardless of
+  // the knob, so the full serialized application model — totals, bodies,
+  // reuse windows — is byte-stable across modes.
+  const auto image =
+      support::make_synthetic_image(64, 48, support::SyntheticKind::kCompound, 4);
+  btpc::CodecOptions options;
+  options.simd = SimdMode::kScalar;
+  const auto reference = persist::serialize(btpc::profile_btpc(image, 256, 256, options));
+  for (const auto mode : vector_modes()) {
+    options.simd = mode;
+    EXPECT_EQ(persist::serialize(btpc::profile_btpc(image, 256, 256, options)), reference)
+        << to_string(mode);
+  }
+  options.simd = SimdMode::kAuto;
+  EXPECT_EQ(persist::serialize(btpc::profile_btpc(image, 256, 256, options)), reference);
+}
+
+TEST(ProfileInvariance, HyperspecModelSerializesIdenticallyUnderEveryMode) {
+  const auto cube = hyperspec::make_synthetic_cube({5, 24, 24}, 31);
+  hyperspec::HsCodecOptions options;
+  options.simd = SimdMode::kScalar;
+  const auto reference =
+      persist::serialize(hyperspec::profile_hyperspec(cube, {12, 96, 96}, options));
+  for (const auto mode : vector_modes()) {
+    options.simd = mode;
+    const auto model = hyperspec::profile_hyperspec(cube, {12, 96, 96}, options);
+    EXPECT_EQ(persist::serialize(model), reference) << to_string(mode);
+  }
+}
+
+TEST(ProfileInvariance, MotionModelSerializesIdenticallyUnderEveryMode) {
+  const auto frames = motion::make_synthetic_frame_pair(96, 96, 42);
+  motion::MotionOptions options;
+  options.simd = SimdMode::kScalar;
+  const auto reference =
+      persist::serialize(motion::profile_motion(frames, 352, 288, options));
+  for (const auto mode : vector_modes()) {
+    options.simd = mode;
+    EXPECT_EQ(persist::serialize(motion::profile_motion(frames, 352, 288, options)),
+              reference)
+        << to_string(mode);
+  }
+}
+
+TEST(ProfileInvariance, InstrumentedEncodeMatchesPlainStreamUnderForcedSimd) {
+  // The other direction of the same gate: an instrumented encode with the
+  // widest path *requested* must still emit the plain scalar bitstream.
+  const auto image =
+      support::make_synthetic_image(64, 64, support::SyntheticKind::kCompound, 4);
+  btpc::CodecOptions options;
+  options.simd = widest_simd_mode();
+  btpc::Encoder plain(64, 64);
+  const auto expected = plain.encode(image, options);
+  trace::Recorder recorder("btpc");
+  btpc::Encoder instrumented(recorder, 64, 64);
+  EXPECT_EQ(instrumented.encode(image, options).stream, expected.stream);
+}
+
+}  // namespace
+}  // namespace dtse::support
